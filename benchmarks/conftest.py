@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one experiment of the paper (see DESIGN.md,
+"Experiment index") through the corresponding :mod:`repro.experiments`
+harness.  Benchmarks run each experiment exactly once (``rounds=1``): the
+quantity of interest is the table the experiment produces, not a
+micro-benchmark timing distribution, and a single run of the larger
+experiments already takes seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import format_table
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a zero-argument callable exactly once under pytest-benchmark."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run
+
+
+@pytest.fixture
+def show_table():
+    """Print an experiment table (visible with ``pytest -s`` and in EXPERIMENTS.md)."""
+
+    def _show(title, rows, columns=None):
+        print(f"\n=== {title} ===")
+        print(format_table(rows, columns=columns))
+
+    return _show

@@ -1,0 +1,52 @@
+"""Ablation — gang-scheduling multiprogramming level (DESIGN.md, design-choice ablations).
+
+Gang scheduling trades wait time for stretched runtimes; the knob is the
+multiprogramming level (number of Ousterhout-matrix slots).  This ablation
+sweeps the level on one workload and compares against EASY backfilling,
+reproducing the space-slicing versus time-slicing discussion of Section 2.2
+("Including the internal job structure" / the sigmetrics comparison the paper
+recalls).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import simulate
+from repro.metrics import compute_metrics
+from repro.schedulers import EasyBackfillScheduler, simulate_gang
+from repro.workloads import Lublin99Model
+
+
+def test_ablation_gang_multiprogramming_level(run_once, show_table):
+    def run():
+        workload = Lublin99Model(machine_size=128).generate_with_load(1200, 0.75, seed=14)
+        out = {}
+        out["easy-backfill"] = compute_metrics(
+            simulate(workload, EasyBackfillScheduler(), machine_size=128)
+        )
+        for slots in (1, 2, 4, 8):
+            out[f"gang-{slots}"] = compute_metrics(
+                simulate_gang(workload, machine_size=128, max_slots=slots)
+            )
+        return out
+
+    reports = run_once(run)
+
+    rows = [
+        {
+            "policy": name,
+            "mean_wait": round(report.mean_wait, 1),
+            "mean_response": round(report.mean_response, 1),
+            "mean_bounded_slowdown": round(report.mean_bounded_slowdown, 2),
+            "utilization": round(report.utilization, 3),
+        }
+        for name, report in reports.items()
+    ]
+    show_table("Ablation: gang-scheduling multiprogramming level vs EASY", rows)
+
+    # More slots monotonically cut the time jobs spend waiting for a slot...
+    waits = [reports[f"gang-{slots}"].mean_wait for slots in (1, 2, 4, 8)]
+    assert all(b <= a * 1.05 for a, b in zip(waits, waits[1:]))
+    # ...and with several slots gang scheduling waits less than space sharing,
+    # the classic time-slicing advantage (paid for in stretched runtimes).
+    assert reports["gang-8"].mean_wait <= reports["easy-backfill"].mean_wait
+    assert reports["gang-8"].mean_response >= reports["gang-8"].mean_wait

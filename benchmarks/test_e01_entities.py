@@ -1,0 +1,22 @@
+"""E1 — Figure 1: the scheduling-entity hierarchy (users, meta-, machine-, node schedulers)."""
+
+from __future__ import annotations
+
+from repro.experiments import e01_entities
+
+
+def test_e01_entity_hierarchy(run_once, show_table):
+    result = run_once(
+        lambda: e01_entities.run(
+            sites=2, machine_size=128, local_jobs_per_site=400, meta_jobs=80, load=0.6, seed=1
+        )
+    )
+    show_table("E1: jobs routed through each scheduling entity (Figure 1)", result.rows())
+
+    # Every machine scheduler handled both local and meta work, and the meta
+    # scheduler placed every meta job it accepted on some site.
+    assert all(count > 0 for count in result.local_jobs_per_site.values())
+    assert all(count > 0 for count in result.meta_jobs_per_site.values())
+    assert result.meta_jobs_total > 0
+    assert sum(result.meta_jobs_per_site.values()) >= result.meta_jobs_total
+    assert result.coallocated_jobs > 0

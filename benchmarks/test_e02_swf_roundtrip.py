@@ -1,0 +1,18 @@
+"""E2 — SWF conformance: parse / validate / write round trip over the synthetic archives."""
+
+from __future__ import annotations
+
+from repro.experiments import e02_swf_roundtrip
+
+
+def test_e02_swf_conformance(run_once, show_table):
+    result = run_once(lambda: e02_swf_roundtrip.run(jobs_per_archive=2500, seed=11))
+    show_table("E2: SWF conformance per synthetic archive", result.rows())
+
+    assert result.all_pass
+    assert set(result.archives) == {"nasa-ipsc", "ctc-sp2", "sdsc-paragon", "lanl-cm5"}
+    for name in result.archives:
+        assert result.jobs[name] == 2500
+        assert result.clean[name]
+        assert result.round_trip_exact[name]
+        assert result.dense_ids[name]

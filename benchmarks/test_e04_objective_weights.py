@@ -1,0 +1,19 @@
+"""E4 — Objective-weight sensitivity of the scheduler ranking (ref [41], Krallmann et al.)."""
+
+from __future__ import annotations
+
+from repro.experiments import e04_objective_weights
+
+
+def test_e04_objective_weight_sensitivity(run_once, show_table):
+    result = run_once(
+        lambda: e04_objective_weights.run(jobs=1500, machine_size=128, load=0.8, seed=4)
+    )
+    show_table("E4: winning policy per objective weighting", result.rows())
+
+    # Shape: changing only the weights changes which policy wins.
+    assert result.distinct_winners() >= 2
+    # A user-centric weighting and a system-centric weighting are both present
+    # and produce complete rankings over the same five policies.
+    for ranking in result.rankings.values():
+        assert len(ranking) == 5

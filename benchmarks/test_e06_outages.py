@@ -1,0 +1,26 @@
+"""E6 — Outage impact: failures, maintenance, and outage-aware draining (Section 2.2)."""
+
+from __future__ import annotations
+
+from repro.experiments import e06_outages
+
+
+def test_e06_outage_impact(run_once, show_table):
+    result = run_once(
+        lambda: e06_outages.run(jobs=1200, machine_size=128, load=0.7, mtbf_days=3.0, seed=6)
+    )
+    show_table("E6: scheduler metrics under outage configurations", result.rows())
+
+    reports = result.reports
+    # Shape: unannounced failures kill jobs and waste capacity relative to the
+    # idealized no-outage evaluation.
+    assert result.outage_kills["unannounced-failures"] > 0
+    assert reports["unannounced-failures"].utilization <= reports["no-outages"].utilization
+    assert reports["unannounced-failures"].makespan >= reports["no-outages"].makespan
+    # Shape: draining ahead of announced maintenance eliminates almost all of
+    # the kills the outage-blind scheduler suffers (jobs that were already
+    # running when the window was announced can still be caught).
+    blind = result.outage_kills["maintenance-blind"]
+    drained = result.outage_kills["maintenance-drained"]
+    assert drained < blind
+    assert drained <= max(1, int(0.2 * blind))

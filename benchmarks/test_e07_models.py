@@ -1,0 +1,20 @@
+"""E7 — Workload models side by side with an archive-like reference (Section 2.1, ref [58])."""
+
+from __future__ import annotations
+
+from repro.experiments import e07_models
+
+
+def test_e07_model_comparison(run_once, show_table):
+    result = run_once(lambda: e07_models.run(jobs=2000, machine_size=128, load=0.7, seed=7))
+    show_table("E7: workload models vs archive-like reference", result.rows())
+
+    ordering = result.models_ordered_by_distance()
+    # Shape: a measurement-based model is the most representative; the naive
+    # guesswork baseline never is, and Lublin sits in the top two (the Talby
+    # et al. co-plot finding the paper cites).
+    assert ordering[0] != "uniform-naive"
+    assert "lublin99" in ordering[:2]
+    # Every workload was also pushed through the scheduler, so the table links
+    # workload statistics to the scheduling results they produce.
+    assert len(result.scheduling) == len(result.statistics) == 6

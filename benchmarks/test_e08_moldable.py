@@ -1,0 +1,22 @@
+"""E8 — Moldable job scheduling with the Downey speedup model (Section 2.1, flexible jobs)."""
+
+from __future__ import annotations
+
+from repro.experiments import e08_moldable
+
+
+def test_e08_moldable_scheduling(run_once, show_table):
+    result = run_once(
+        lambda: e08_moldable.run(jobs=800, machine_size=128, loads=(0.5, 0.8), seed=8)
+    )
+    show_table("E8: rigid vs adaptive (moldable) scheduling", result.rows())
+
+    # Shape: adaptivity matters most at high load; at the top of the sweep the
+    # adaptive policy is at least competitive with rigid EASY and clearly
+    # ahead of rigid FCFS.
+    high = max(result.loads)
+    reports = result.reports[high]
+    assert reports["moldable-adaptive"].mean_response <= reports["fcfs"].mean_response
+    assert result.adaptive_gain_over_rigid_easy(high) > 0.8
+    # The adaptive policy really does choose its own allocations.
+    assert result.mean_adaptive_allocation[high] > 0

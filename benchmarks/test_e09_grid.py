@@ -1,0 +1,45 @@
+"""E9 — Metacomputing: prediction accuracy, reservations, and co-allocation (Sections 3-4)."""
+
+from __future__ import annotations
+
+from repro.experiments import e09_grid
+
+
+def test_e09_grid_scheduling(run_once, show_table):
+    result = run_once(
+        lambda: e09_grid.run(
+            sites=4,
+            machine_size=128,
+            local_jobs_per_site=250,
+            meta_jobs=120,
+            local_load=0.6,
+            coallocation_fraction=0.3,
+            seed=9,
+        )
+    )
+    show_table("E9: meta-scheduling configurations", result.rows())
+    show_table("E9: queue-wait predictor accuracy", result.predictor_rows())
+
+    rows = {row["configuration"]: row for row in result.rows()}
+    # Shape: advance reservations are what makes co-allocation dependable —
+    # more co-allocations complete and fewer meta jobs starve.
+    for policy in ("least-loaded", "earliest-start"):
+        assert (
+            rows[f"{policy}/reservations"]["meta_unfinished"]
+            <= rows[f"{policy}/no-reservations"]["meta_unfinished"]
+        )
+        assert (
+            rows[f"{policy}/reservations"]["coallocations_done"]
+            >= rows[f"{policy}/no-reservations"]["coallocations_done"]
+        )
+
+    # Shape: predictors are scored on every single-site meta job, and the
+    # informed (profile / category) families are reported alongside the
+    # naive mean — the table EXPERIMENTS.md records.
+    predictor_rows = result.predictor_rows()
+    assert {row["predictor"] for row in predictor_rows} == {
+        "mean-wait",
+        "category-mean",
+        "profile",
+    }
+    assert all(row["samples"] > 0 for row in predictor_rows)

@@ -1,0 +1,24 @@
+"""E10 — The WARMstones scorecard and scheduler-selection table (Section 4.3)."""
+
+from __future__ import annotations
+
+from repro.experiments import e10_warmstones
+
+
+def test_e10_warmstones_scorecard(run_once, show_table):
+    result = run_once(lambda: e10_warmstones.run(seed=10))
+    show_table("E10: best mapper per (graph, system)", result.winner_rows())
+
+    # The scorecard covers the full benchmark-suite x systems x mappers grid.
+    assert len(result.entries) == 6 * 3 * 4
+    assert len(result.winners) == 6 * 3
+    # Shape: heterogeneous systems are where cost-aware mappers earn their
+    # keep; on the homogeneous single cluster the choice barely matters.
+    heterogeneous_winners = {
+        mapper for (graph, system), mapper in result.winners.items() if system != "cluster"
+    }
+    assert heterogeneous_winners & {"min-min", "max-min", "heft"}
+    # The off-line selection table gives a near-best recommendation for a
+    # held-out application ("look up the closest matches ... to find a
+    # scheduler which should work well for me").
+    assert result.lookup_regret < 1.5

@@ -1,0 +1,119 @@
+"""Metacomputing: meta-scheduling with queue-wait prediction and co-allocation.
+
+This example builds the Figure 1 hierarchy — four sites, each with its own
+EASY-backfilling machine scheduler and local users, plus a meta-scheduler —
+and shows the two mechanisms Sections 3 and 4 of the paper revolve around:
+
+* queue-wait prediction as the information the meta-scheduler uses to pick a
+  site, and
+* advance reservations as the mechanism that makes co-allocation work.
+
+Run with::
+
+    python examples/grid_coallocation.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table
+from repro.grid import (
+    CategoryMeanPredictor,
+    EarliestStartMetaScheduler,
+    GridSimulation,
+    LeastLoadedMetaScheduler,
+    MeanWaitPredictor,
+    ProfilePredictor,
+    Site,
+    generate_meta_jobs,
+    prediction_error_summary,
+)
+from repro.schedulers import EasyBackfillScheduler
+from repro.workloads import Lublin99Model
+
+
+def build_sites(count: int = 4, machine_size: int = 128, seed: int = 31):
+    """Sites with mild configuration heterogeneity and their own local users."""
+    sites = []
+    for i in range(count):
+        sites.append(
+            Site(
+                name=f"center-{chr(ord('a') + i)}",
+                machine_size=machine_size,
+                scheduler=EasyBackfillScheduler(outage_aware=True),
+                local_workload=Lublin99Model(machine_size=machine_size).generate_with_load(
+                    400, 0.6, seed=seed + i
+                ),
+                speed=1.0 + 0.15 * i,
+            )
+        )
+    return sites
+
+
+def main() -> None:
+    meta_jobs = generate_meta_jobs(
+        150, coallocation_fraction=0.3, max_components=3, max_component_processors=64, seed=99
+    )
+    predictors = {
+        "mean-wait": MeanWaitPredictor,
+        "category-mean": CategoryMeanPredictor,
+        "profile": ProfilePredictor,
+    }
+
+    rows = []
+    predictor_rows = []
+    for meta_scheduler, reservations in (
+        (LeastLoadedMetaScheduler(), False),
+        (LeastLoadedMetaScheduler(), True),
+        (EarliestStartMetaScheduler(), False),
+        (EarliestStartMetaScheduler(), True),
+    ):
+        simulation = GridSimulation(
+            build_sites(),
+            meta_jobs,
+            meta_scheduler,
+            use_reservations=reservations,
+            predictors=predictors,
+        )
+        result = simulation.run()
+        label = f"{result.meta_scheduler}{'+reservations' if reservations else ''}"
+        rows.append(
+            {
+                "configuration": label,
+                "meta_done": len(result.meta_results),
+                "meta_starving": len(result.unfinished_meta_jobs),
+                "coallocations_done": len(result.coallocation_results()),
+                "mean_meta_wait_s": round(result.mean_meta_wait(), 0),
+                "wasted_node_hours": round(result.total_wasted_node_seconds() / 3600, 0),
+                "late_reservations": round(result.late_reservation_fraction(), 2),
+            }
+        )
+        if reservations:
+            for name, pairs in result.prediction_pairs.items():
+                summary = prediction_error_summary(pairs)
+                predictor_rows.append(
+                    {
+                        "configuration": label,
+                        "predictor": name,
+                        "mae_s": round(summary["mae"], 0),
+                        "bias_s": round(summary["bias"], 0),
+                        "samples": summary["count"],
+                    }
+                )
+
+    print("meta-scheduling configurations:")
+    print(format_table(rows))
+    print()
+    print("queue-wait prediction accuracy (scored on single-site meta jobs):")
+    print(format_table(predictor_rows))
+    print()
+    print(
+        "Reading: without reservations, co-allocated jobs starve waiting for all\n"
+        "their components and waste the cycles of the components that did start;\n"
+        "with reservations every co-allocation completes.  The profile-based\n"
+        "predictor (built from the sites' availability profiles) is the kind of\n"
+        "information service the paper says meta-schedulers need."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Outage-aware scheduling: replaying a trace together with its outage log.
+
+Section 2.2 of the paper argues that evaluations which ignore failures and
+maintenance "cannot possibly be accurate".  This example:
+
+1. generates a CTC-SP2-like synthetic archive trace,
+2. generates a matching outage log (random node failures + monthly
+   maintenance windows) in the proposed standard format,
+3. replays the trace under EASY backfilling with
+   (a) no outages, (b) outages and an outage-blind scheduler, and
+   (c) outages and an outage-aware scheduler that drains ahead of announced
+   windows,
+4. prints the resulting metrics side by side.
+
+Run with::
+
+    python examples/outage_aware_scheduling.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import EasyBackfillScheduler, compute_metrics, simulate, synthetic_archive
+from repro.core.outage import OutageModel, generate_outages, write_outage_log
+from repro.evaluation import format_table
+
+
+def main() -> None:
+    machine_size = 430  # the CTC SP2's size
+    trace = synthetic_archive("ctc-sp2", jobs=2000, seed=17)
+    print(f"trace: {trace.name}, {len(trace)} jobs, load {trace.offered_load():.2f}")
+
+    outages = generate_outages(
+        machine_size,
+        trace.span(),
+        model=OutageModel(
+            mtbf_seconds=4 * 24 * 3600,
+            max_nodes_per_failure=8,
+            maintenance_interval_seconds=30 * 24 * 3600,
+            maintenance_duration_seconds=12 * 3600,
+            maintenance_notice_seconds=7 * 24 * 3600,
+        ),
+        seed=17,
+    )
+    path = Path(tempfile.gettempdir()) / "ctc-sp2.outages"
+    write_outage_log(outages, path)
+    print(
+        f"outage log: {len(outages)} events "
+        f"({len(outages.unscheduled())} failures, {len(outages.scheduled())} maintenance windows) "
+        f"written to {path}"
+    )
+
+    rows = []
+    configurations = [
+        ("no outages", None, False),
+        ("outages, blind scheduler", outages, False),
+        ("outages, drained scheduler", outages, True),
+    ]
+    for label, log, aware in configurations:
+        result = simulate(
+            trace,
+            EasyBackfillScheduler(outage_aware=aware),
+            machine_size=machine_size,
+            outages=log,
+            restart_failed_jobs=True,
+        )
+        report = compute_metrics(result)
+        rows.append(
+            {
+                "configuration": label,
+                "mean_wait_s": round(report.mean_wait, 1),
+                "mean_bounded_slowdown": round(report.mean_bounded_slowdown, 2),
+                "utilization": round(report.utilization, 3),
+                "jobs_killed_by_outages": result.outage_kills,
+            }
+        )
+
+    print()
+    print(format_table(rows))
+    print()
+    print(
+        "Reading: the idealized no-outage replay overstates the utilization the\n"
+        "machine can deliver, the outage-blind scheduler loses work whenever a\n"
+        "window or failure arrives, and draining trades some wait time for\n"
+        "(almost) no killed jobs — which is why the paper wants outage logs\n"
+        "distributed alongside workload traces."
+    )
+
+
+if __name__ == "__main__":
+    main()

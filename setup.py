@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works with the legacy (non-PEP-660) editable-install
+path available in offline environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

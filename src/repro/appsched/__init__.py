@@ -1,0 +1,48 @@
+"""Application scheduling and the WARMstones evaluation environment."""
+
+from repro.appsched.graph import GraphError, ProgramGraph, Task
+from repro.appsched.generators import (
+    benchmark_suite,
+    communication_intensive,
+    compute_intensive,
+    fork_join,
+    master_worker,
+    pipeline,
+    random_dag,
+)
+from repro.appsched.systems import MetaSystem, Resource, canonical_systems
+from repro.appsched.listsched import (
+    GraphMapper,
+    HEFTMapper,
+    MaxMinMapper,
+    MinMinMapper,
+    RoundRobinMapper,
+)
+from repro.appsched.simulator import GraphExecutionResult, TaskExecution, simulate_mapping
+from repro.appsched.warmstones import ScorecardEntry, Warmstones
+
+__all__ = [
+    "GraphError",
+    "ProgramGraph",
+    "Task",
+    "benchmark_suite",
+    "communication_intensive",
+    "compute_intensive",
+    "fork_join",
+    "master_worker",
+    "pipeline",
+    "random_dag",
+    "MetaSystem",
+    "Resource",
+    "canonical_systems",
+    "GraphMapper",
+    "HEFTMapper",
+    "MaxMinMapper",
+    "MinMinMapper",
+    "RoundRobinMapper",
+    "GraphExecutionResult",
+    "TaskExecution",
+    "simulate_mapping",
+    "ScorecardEntry",
+    "Warmstones",
+]

@@ -1,0 +1,171 @@
+"""Micro-benchmark program-graph generators (the WARMstones benchmark suite).
+
+Section 3.2: "A good first step will be to use accepted practice and generate
+micro-benchmarks: individual programs which stress one particular aspect of
+the system."  The generators here produce the graph families the paper names,
+plus the structural families every application-scheduling study uses:
+
+* :func:`compute_intensive` — embarrassingly parallel, negligible
+  communication ("can use all the cycles from all the machines it can get"),
+* :func:`communication_intensive` — heavy all-to-next-stage data movement,
+* :func:`master_worker` — the structure the paper gives as the simple way to
+  make an application flexible,
+* :func:`pipeline` — a linear chain of stages with streaming data,
+* :func:`fork_join` — parallel phases separated by barriers (the
+  Feitelson-Rudolph strawman's barrier structure),
+* :func:`random_dag` — layered random DAGs for coverage,
+* :func:`benchmark_suite` — the named collection E10 iterates over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.appsched.graph import ProgramGraph
+from repro.simulation.distributions import make_rng
+
+__all__ = [
+    "compute_intensive",
+    "communication_intensive",
+    "master_worker",
+    "pipeline",
+    "fork_join",
+    "random_dag",
+    "benchmark_suite",
+]
+
+
+def compute_intensive(
+    tasks: int = 32, mean_compute: float = 3600.0, seed: Optional[int] = None
+) -> ProgramGraph:
+    """Independent tasks, no communication: stresses raw cycle harvesting."""
+    if tasks < 1:
+        raise ValueError("tasks must be >= 1")
+    rng = make_rng(seed)
+    graph = ProgramGraph(name=f"compute-intensive-{tasks}")
+    for i in range(tasks):
+        graph.add_task(f"t{i}", float(rng.uniform(0.5, 1.5) * mean_compute))
+    return graph
+
+
+def communication_intensive(
+    stages: int = 4,
+    width: int = 8,
+    mean_compute: float = 600.0,
+    megabytes_per_edge: float = 500.0,
+    seed: Optional[int] = None,
+) -> ProgramGraph:
+    """Stage-to-stage all-to-all transfers: stresses the network between sites."""
+    if stages < 2 or width < 1:
+        raise ValueError("need at least 2 stages and width >= 1")
+    rng = make_rng(seed)
+    graph = ProgramGraph(name=f"communication-intensive-{stages}x{width}")
+    for s in range(stages):
+        for w in range(width):
+            graph.add_task(f"s{s}w{w}", float(rng.uniform(0.5, 1.5) * mean_compute))
+    for s in range(stages - 1):
+        for w1 in range(width):
+            for w2 in range(width):
+                graph.add_edge(f"s{s}w{w1}", f"s{s + 1}w{w2}", megabytes_per_edge)
+    return graph
+
+
+def master_worker(
+    workers: int = 16,
+    work_units_per_worker: float = 1800.0,
+    master_seconds: float = 120.0,
+    megabytes_per_task: float = 10.0,
+) -> ProgramGraph:
+    """A master distributes work to independent workers and gathers results."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    graph = ProgramGraph(name=f"master-worker-{workers}")
+    graph.add_task("master-scatter", master_seconds)
+    graph.add_task("master-gather", master_seconds)
+    for i in range(workers):
+        name = f"worker{i}"
+        graph.add_task(name, work_units_per_worker)
+        graph.add_edge("master-scatter", name, megabytes_per_task)
+        graph.add_edge(name, "master-gather", megabytes_per_task)
+    return graph
+
+
+def pipeline(
+    stages: int = 8, seconds_per_stage: float = 900.0, megabytes_between: float = 100.0
+) -> ProgramGraph:
+    """A linear chain of stages: no parallelism, pure dependency latency."""
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    graph = ProgramGraph(name=f"pipeline-{stages}")
+    for i in range(stages):
+        graph.add_task(f"stage{i}", seconds_per_stage)
+    for i in range(stages - 1):
+        graph.add_edge(f"stage{i}", f"stage{i + 1}", megabytes_between)
+    return graph
+
+
+def fork_join(
+    phases: int = 3,
+    width: int = 8,
+    seconds_per_task: float = 600.0,
+    megabytes_at_barrier: float = 50.0,
+) -> ProgramGraph:
+    """Alternating parallel phases and barriers (barrier-synchronized SPMD)."""
+    if phases < 1 or width < 1:
+        raise ValueError("phases and width must be >= 1")
+    graph = ProgramGraph(name=f"fork-join-{phases}x{width}")
+    previous_barrier: Optional[str] = None
+    for p in range(phases):
+        barrier = f"barrier{p}"
+        graph.add_task(barrier, 1.0)
+        for w in range(width):
+            name = f"p{p}w{w}"
+            graph.add_task(name, seconds_per_task)
+            if previous_barrier is not None:
+                graph.add_edge(previous_barrier, name, megabytes_at_barrier)
+            graph.add_edge(name, barrier, megabytes_at_barrier)
+        previous_barrier = barrier
+    return graph
+
+
+def random_dag(
+    tasks: int = 40,
+    layers: int = 5,
+    edge_probability: float = 0.3,
+    mean_compute: float = 900.0,
+    mean_megabytes: float = 100.0,
+    seed: Optional[int] = None,
+) -> ProgramGraph:
+    """A layered random DAG: edges only go from earlier to later layers."""
+    if tasks < 1 or layers < 1:
+        raise ValueError("tasks and layers must be >= 1")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = make_rng(seed)
+    graph = ProgramGraph(name=f"random-dag-{tasks}")
+    layer_of: Dict[str, int] = {}
+    for i in range(tasks):
+        name = f"t{i}"
+        graph.add_task(name, float(rng.exponential(mean_compute) + 1.0))
+        layer_of[name] = int(rng.integers(0, layers))
+    names = graph.task_names
+    for a in names:
+        for b in names:
+            if layer_of[a] < layer_of[b] and rng.random() < edge_probability:
+                graph.add_edge(a, b, float(rng.exponential(mean_megabytes)))
+    return graph
+
+
+def benchmark_suite(seed: Optional[int] = None) -> List[ProgramGraph]:
+    """The WARMstones micro-benchmark suite used by experiment E10."""
+    base = 0 if seed is None else seed
+    return [
+        compute_intensive(tasks=32, seed=base + 1),
+        communication_intensive(stages=4, width=6, seed=base + 2),
+        master_worker(workers=16),
+        pipeline(stages=8),
+        fork_join(phases=3, width=8),
+        random_dag(tasks=40, seed=base + 3),
+    ]

@@ -1,0 +1,208 @@
+"""Application (list) schedulers: mapping program graphs onto metasystems.
+
+These are the "implementation toolkit for schedulers" of the WARMstones
+design: each policy maps every task of a program graph to a resource of a
+metasystem, and the execution simulator then measures the resulting makespan.
+The classic heuristics are provided:
+
+* :class:`RoundRobinMapper` — ignore costs entirely (baseline),
+* :class:`MinMinMapper` / :class:`MaxMinMapper` — the two canonical batch
+  heuristics over (task, resource) completion-time estimates,
+* :class:`HEFTMapper` — Heterogeneous Earliest Finish Time: rank tasks by
+  upward rank (critical-path-to-exit including average communication), then
+  greedily place each on the resource minimizing its earliest finish time.
+
+Mappers assign tasks to *resources*; the execution simulator handles the
+processor-level packing inside each resource.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.appsched.graph import ProgramGraph
+from repro.appsched.systems import MetaSystem
+
+__all__ = ["GraphMapper", "RoundRobinMapper", "MinMinMapper", "MaxMinMapper", "HEFTMapper"]
+
+
+class GraphMapper(ABC):
+    """Maps every task of a graph to a resource name of a metasystem."""
+
+    name: str = "mapper"
+
+    @abstractmethod
+    def map(self, graph: ProgramGraph, system: MetaSystem) -> Dict[str, str]:
+        """Return {task name: resource name} covering every task."""
+
+
+class RoundRobinMapper(GraphMapper):
+    """Deal tasks to resources in turn, weighted by processor count."""
+
+    name = "round-robin"
+
+    def map(self, graph: ProgramGraph, system: MetaSystem) -> Dict[str, str]:
+        slots: List[str] = []
+        for resource in system.resources:
+            slots.extend([resource.name] * resource.processors)
+        mapping = {}
+        for index, task in enumerate(graph.topological_order()):
+            mapping[task] = slots[index % len(slots)]
+        return mapping
+
+
+@dataclass
+class _ResourceLoad:
+    """Running estimate of when a resource's processors become free."""
+
+    free_times: List[float]
+
+    def earliest(self) -> float:
+        return min(self.free_times)
+
+    def commit(self, start: float, duration: float) -> None:
+        index = self.free_times.index(min(self.free_times))
+        self.free_times[index] = max(self.free_times[index], start) + duration
+
+
+def _initial_loads(system: MetaSystem) -> Dict[str, _ResourceLoad]:
+    return {
+        r.name: _ResourceLoad(free_times=[0.0] * r.processors) for r in system.resources
+    }
+
+
+class _CompletionTimeMapperBase(GraphMapper):
+    """Shared machinery of min-min and max-min."""
+
+    pick_largest: bool = False
+
+    def map(self, graph: ProgramGraph, system: MetaSystem) -> Dict[str, str]:
+        loads = _initial_loads(system)
+        finish_time: Dict[str, float] = {}
+        mapping: Dict[str, str] = {}
+        remaining = set(graph.task_names)
+
+        def ready_tasks() -> List[str]:
+            return [
+                t
+                for t in remaining
+                if all(p in mapping for p in graph.predecessors(t))
+            ]
+
+        while remaining:
+            candidates = ready_tasks()
+            # (task, resource, completion) minimizing completion per task
+            best_per_task = []
+            for task in candidates:
+                best_resource, best_completion = None, float("inf")
+                for resource in system.resources:
+                    completion = self._estimate_completion(
+                        graph, system, loads, mapping, finish_time, task, resource.name
+                    )
+                    if completion < best_completion:
+                        best_completion = completion
+                        best_resource = resource.name
+                best_per_task.append((task, best_resource, best_completion))
+            chooser = max if self.pick_largest else min
+            task, resource, completion = chooser(best_per_task, key=lambda x: x[2])
+            mapping[task] = resource
+            ready = self._ready_time(graph, system, mapping, finish_time, task, resource)
+            duration = system.compute_seconds(resource, graph.task(task).compute_seconds)
+            start = max(ready, loads[resource].earliest())
+            loads[resource].commit(start, duration)
+            finish_time[task] = start + duration
+            remaining.remove(task)
+        return mapping
+
+    @staticmethod
+    def _ready_time(graph, system, mapping, finish_time, task, resource) -> float:
+        ready = 0.0
+        for pred in graph.predecessors(task):
+            transfer = system.transfer_seconds(
+                mapping[pred], resource, graph.communication(pred, task)
+            )
+            ready = max(ready, finish_time[pred] + transfer)
+        return ready
+
+    def _estimate_completion(
+        self, graph, system, loads, mapping, finish_time, task, resource
+    ) -> float:
+        ready = self._ready_time(graph, system, mapping, finish_time, task, resource)
+        duration = system.compute_seconds(resource, graph.task(task).compute_seconds)
+        start = max(ready, loads[resource].earliest())
+        return start + duration
+
+
+class MinMinMapper(_CompletionTimeMapperBase):
+    """Repeatedly place the ready task with the smallest best completion time."""
+
+    name = "min-min"
+    pick_largest = False
+
+
+class MaxMinMapper(_CompletionTimeMapperBase):
+    """Repeatedly place the ready task with the largest best completion time."""
+
+    name = "max-min"
+    pick_largest = True
+
+
+class HEFTMapper(GraphMapper):
+    """Heterogeneous Earliest Finish Time (upward-rank list scheduling)."""
+
+    name = "heft"
+
+    def map(self, graph: ProgramGraph, system: MetaSystem) -> Dict[str, str]:
+        mean_speed = sum(r.speed for r in system.resources) / len(system.resources)
+        # Mean transfer cost per megabyte across distinct resource pairs.
+        names = system.resource_names
+        if len(names) > 1:
+            pair_costs = [
+                system.transfer_seconds(a, b, 1.0)
+                for a in names
+                for b in names
+                if a != b
+            ]
+            mean_transfer_per_mb = sum(pair_costs) / len(pair_costs)
+        else:
+            mean_transfer_per_mb = 0.0
+
+        upward: Dict[str, float] = {}
+        for task in reversed(graph.topological_order()):
+            mean_compute = graph.task(task).compute_seconds / mean_speed
+            best_successor = 0.0
+            for succ in graph.successors(task):
+                comm = graph.communication(task, succ) * mean_transfer_per_mb
+                best_successor = max(best_successor, comm + upward[succ])
+            upward[task] = mean_compute + best_successor
+
+        loads = _initial_loads(system)
+        finish_time: Dict[str, float] = {}
+        mapping: Dict[str, str] = {}
+        for task in sorted(graph.task_names, key=lambda t: -upward[t]):
+            best_resource, best_finish = None, float("inf")
+            for resource in system.resources:
+                ready = 0.0
+                for pred in graph.predecessors(task):
+                    if pred not in mapping:
+                        # Upward-rank order guarantees predecessors come first
+                        # in well-formed DAGs; guard anyway for robustness.
+                        continue
+                    transfer = system.transfer_seconds(
+                        mapping[pred], resource.name, graph.communication(pred, task)
+                    )
+                    ready = max(ready, finish_time.get(pred, 0.0) + transfer)
+                duration = system.compute_seconds(resource.name, graph.task(task).compute_seconds)
+                start = max(ready, loads[resource.name].earliest())
+                finish = start + duration
+                if finish < best_finish:
+                    best_finish = finish
+                    best_resource = resource.name
+            mapping[task] = best_resource
+            duration = system.compute_seconds(best_resource, graph.task(task).compute_seconds)
+            start = best_finish - duration
+            loads[best_resource].commit(start, duration)
+            finish_time[task] = best_finish
+        return mapping

@@ -1,0 +1,139 @@
+"""Canonical metasystem representations for the WARMstones environment.
+
+Section 4.3: WARMstones needs "a canonical representation of metasystems"
+covering "the local infrastructure (workstations, clusters, supercomputers)
+and the overall structure of the metasystem", so that scheduler evaluations
+can be made "apples-to-apples" against a range of standard machine
+representations.  :class:`MetaSystem` is that representation: a set of
+resources (each with a processor count and relative speed) connected by a
+network with per-pair latency and bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Resource", "MetaSystem", "canonical_systems"]
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One machine of the metasystem (workstation, cluster, or supercomputer)."""
+
+    name: str
+    processors: int
+    speed: float = 1.0  # relative to the reference processor of the graphs
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("a resource needs at least one processor")
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+
+
+class MetaSystem:
+    """Resources plus the network connecting them.
+
+    Communication between two tasks placed on the *same* resource is free (a
+    shared file system or memory); between different resources it costs
+    ``latency + megabytes / bandwidth`` seconds, using the per-pair values or
+    the system-wide defaults.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        resources: List[Resource],
+        default_latency: float = 0.05,
+        default_bandwidth_mbps: float = 100.0,
+    ) -> None:
+        if not resources:
+            raise ValueError("a metasystem needs at least one resource")
+        names = [r.name for r in resources]
+        if len(set(names)) != len(names):
+            raise ValueError("resource names must be unique")
+        if default_latency < 0 or default_bandwidth_mbps <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth positive")
+        self.name = name
+        self._resources = {r.name: r for r in resources}
+        self.default_latency = default_latency
+        self.default_bandwidth_mbps = default_bandwidth_mbps
+        #: (a, b) -> (latency seconds, bandwidth MB/s); symmetric
+        self._links: Dict[Tuple[str, str], Tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def resources(self) -> List[Resource]:
+        return list(self._resources.values())
+
+    @property
+    def resource_names(self) -> List[str]:
+        return list(self._resources)
+
+    def resource(self, name: str) -> Resource:
+        return self._resources[name]
+
+    def total_processors(self) -> int:
+        return sum(r.processors for r in self._resources.values())
+
+    def set_link(self, a: str, b: str, latency: float, bandwidth_mbps: float) -> None:
+        """Override the network parameters between two resources (symmetric)."""
+        for endpoint in (a, b):
+            if endpoint not in self._resources:
+                raise KeyError(f"unknown resource {endpoint!r}")
+        if latency < 0 or bandwidth_mbps <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth positive")
+        self._links[(a, b)] = (latency, bandwidth_mbps)
+        self._links[(b, a)] = (latency, bandwidth_mbps)
+
+    def transfer_seconds(self, a: str, b: str, megabytes: float) -> float:
+        """Time to move ``megabytes`` from resource ``a`` to resource ``b``."""
+        if a == b or megabytes <= 0:
+            return 0.0
+        latency, bandwidth = self._links.get((a, b), (self.default_latency, self.default_bandwidth_mbps))
+        return latency + megabytes / bandwidth
+
+    def compute_seconds(self, resource_name: str, reference_seconds: float) -> float:
+        """Execution time of a reference-cost task on the named resource."""
+        return reference_seconds / self._resources[resource_name].speed
+
+
+def canonical_systems() -> List[MetaSystem]:
+    """The three "standard machine representations" experiment E10 evaluates on.
+
+    * ``cluster`` — a single well-connected commodity cluster,
+    * ``supercomputer+workstations`` — one fast large machine plus slow
+      desktop harvesting, separated by a slow WAN,
+    * ``federated-centers`` — several mid-size centers with decent WAN links
+      (the computational-grid picture of the paper's introduction).
+    """
+    cluster = MetaSystem(
+        name="cluster",
+        resources=[Resource("cluster", processors=64, speed=1.0)],
+        default_latency=0.001,
+        default_bandwidth_mbps=1000.0,
+    )
+
+    hybrid = MetaSystem(
+        name="supercomputer+workstations",
+        resources=[
+            Resource("mpp", processors=128, speed=2.0),
+            Resource("desktops", processors=64, speed=0.5),
+        ],
+        default_latency=0.2,
+        default_bandwidth_mbps=10.0,
+    )
+
+    federated = MetaSystem(
+        name="federated-centers",
+        resources=[
+            Resource("center-a", processors=64, speed=1.0),
+            Resource("center-b", processors=48, speed=1.2),
+            Resource("center-c", processors=32, speed=0.8),
+        ],
+        default_latency=0.05,
+        default_bandwidth_mbps=50.0,
+    )
+    federated.set_link("center-a", "center-b", latency=0.03, bandwidth_mbps=100.0)
+    return [cluster, hybrid, federated]

@@ -1,0 +1,155 @@
+"""The WARMstones evaluation environment (Section 4.3).
+
+WARMstones = "Wide-Area Resource Management stones": a benchmark suite of
+annotated program graphs, an implementation toolkit for schedulers, canonical
+metasystem representations, and a simulation engine.  This module ties the
+pieces from :mod:`repro.appsched` together and implements the usage scenarios
+the paper enumerates:
+
+* evaluate a new scheduling algorithm over the benchmark suite and the
+  standard system representations ("apples-to-apples" comparison) —
+  :meth:`Warmstones.scorecard`;
+* given an application and a known target system, select among candidate
+  scheduling algorithms — :meth:`Warmstones.best_mapper_for`;
+* build an off-line table of (application structure, system) → best scheduler
+  for run-time lookup of a "good" algorithm by closest match —
+  :meth:`Warmstones.build_selection_table` / :meth:`Warmstones.lookup`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.appsched.generators import benchmark_suite
+from repro.appsched.graph import ProgramGraph
+from repro.appsched.listsched import (
+    GraphMapper,
+    HEFTMapper,
+    MaxMinMapper,
+    MinMinMapper,
+    RoundRobinMapper,
+)
+from repro.appsched.simulator import GraphExecutionResult, simulate_mapping
+from repro.appsched.systems import MetaSystem, canonical_systems
+
+__all__ = ["ScorecardEntry", "Warmstones"]
+
+
+@dataclass(frozen=True)
+class ScorecardEntry:
+    """One (graph, system, mapper) evaluation."""
+
+    graph: str
+    system: str
+    mapper: str
+    makespan: float
+    speedup: float
+
+
+@dataclass(frozen=True)
+class _TableKey:
+    """Application-structure / system signature used for closest-match lookup."""
+
+    width: int
+    ccr_class: int        # 0 = compute-bound, 1 = balanced, 2 = communication-bound
+    resources: int
+
+    @staticmethod
+    def of(graph: ProgramGraph, system: MetaSystem) -> "_TableKey":
+        ccr = graph.communication_to_computation_ratio()
+        if ccr < 0.01:
+            ccr_class = 0
+        elif ccr < 0.2:
+            ccr_class = 1
+        else:
+            ccr_class = 2
+        return _TableKey(
+            width=graph.width(), ccr_class=ccr_class, resources=len(system.resources)
+        )
+
+    def distance(self, other: "_TableKey") -> float:
+        return (
+            abs(self.width - other.width)
+            + 3 * abs(self.ccr_class - other.ccr_class)
+            + 2 * abs(self.resources - other.resources)
+        )
+
+
+class Warmstones:
+    """Benchmark suite + mappers + canonical systems + simulation engine."""
+
+    def __init__(
+        self,
+        graphs: Optional[Sequence[ProgramGraph]] = None,
+        systems: Optional[Sequence[MetaSystem]] = None,
+        mappers: Optional[Sequence[GraphMapper]] = None,
+    ) -> None:
+        self.graphs: List[ProgramGraph] = list(graphs) if graphs is not None else benchmark_suite(seed=0)
+        self.systems: List[MetaSystem] = list(systems) if systems is not None else canonical_systems()
+        self.mappers: List[GraphMapper] = (
+            list(mappers)
+            if mappers is not None
+            else [RoundRobinMapper(), MinMinMapper(), MaxMinMapper(), HEFTMapper()]
+        )
+        self._selection_table: Dict[_TableKey, str] = {}
+
+    # ------------------------------------------------------------------
+    # core evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, graph: ProgramGraph, system: MetaSystem, mapper: GraphMapper) -> GraphExecutionResult:
+        """Map and simulate one (graph, system, mapper) combination."""
+        mapping = mapper.map(graph, system)
+        return simulate_mapping(graph, system, mapping, mapper_name=mapper.name)
+
+    def scorecard(self) -> List[ScorecardEntry]:
+        """Evaluate every mapper on every graph and system (the E10 table)."""
+        entries: List[ScorecardEntry] = []
+        for graph in self.graphs:
+            for system in self.systems:
+                for mapper in self.mappers:
+                    result = self.evaluate(graph, system, mapper)
+                    entries.append(
+                        ScorecardEntry(
+                            graph=graph.name,
+                            system=system.name,
+                            mapper=mapper.name,
+                            makespan=result.makespan,
+                            speedup=result.speedup_over_sequential(graph, system),
+                        )
+                    )
+        return entries
+
+    def best_mapper_for(self, graph: ProgramGraph, system: MetaSystem) -> Tuple[str, float]:
+        """(mapper name, makespan) of the best mapper for this graph and system."""
+        best_name, best_makespan = "", float("inf")
+        for mapper in self.mappers:
+            result = self.evaluate(graph, system, mapper)
+            if result.makespan < best_makespan:
+                best_makespan = result.makespan
+                best_name = mapper.name
+        return best_name, best_makespan
+
+    # ------------------------------------------------------------------
+    # off-line selection table ("store these results in a table, and at run
+    # time look up the closest matches")
+    # ------------------------------------------------------------------
+    def build_selection_table(self) -> Dict[Tuple[int, int, int], str]:
+        """Precompute the best mapper per (structure, system) signature."""
+        self._selection_table = {}
+        for graph in self.graphs:
+            for system in self.systems:
+                key = _TableKey.of(graph, system)
+                best_name, _ = self.best_mapper_for(graph, system)
+                self._selection_table[key] = best_name
+        return {
+            (k.width, k.ccr_class, k.resources): v for k, v in self._selection_table.items()
+        }
+
+    def lookup(self, graph: ProgramGraph, system: MetaSystem) -> str:
+        """Recommend a mapper by closest match in the precomputed table."""
+        if not self._selection_table:
+            self.build_selection_table()
+        key = _TableKey.of(graph, system)
+        best_key = min(self._selection_table, key=lambda k: k.distance(key))
+        return self._selection_table[best_key]

@@ -1,0 +1,250 @@
+"""Command-line interface for the most common standalone tasks.
+
+The library is primarily used as an API, but the workflows the standard is
+meant to ease — validating a trace, summarizing it, converting a raw log,
+generating model workloads and outage logs, running an experiment — are all
+available from the shell::
+
+    python -m repro.cli validate  trace.swf
+    python -m repro.cli stats     trace.swf
+    python -m repro.cli convert   accounting.csv converted.swf --computer "IBM SP2"
+    python -m repro.cli generate  lublin99 out.swf --jobs 5000 --machine-size 128 --load 0.7
+    python -m repro.cli outages   128 2592000 outages.log --seed 1
+    python -m repro.cli simulate  trace.swf --scheduler easy --machine-size 128
+    python -m repro.cli experiment e03
+
+Every command prints a short human-readable report and exits non-zero on
+failure (e.g. an unclean trace), so the tools compose with shell scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.outage import OutageModel, generate_outages, write_outage_log
+from repro.core.swf import (
+    convert_accounting_csv,
+    parse_swf,
+    summarize,
+    validate,
+    write_swf,
+)
+from repro.data import ARCHIVES, archive_names, synthetic_archive
+from repro.evaluation import format_table, simulate
+from repro.metrics import compute_metrics
+from repro.schedulers import (
+    ConservativeBackfillScheduler,
+    EasyBackfillScheduler,
+    FCFSScheduler,
+    FirstFitScheduler,
+    ShortestJobFirstScheduler,
+)
+from repro.workloads import (
+    Downey97Model,
+    Feitelson96Model,
+    Jann97Model,
+    Lublin99Model,
+    SessionModel,
+    UniformModel,
+)
+
+__all__ = ["main", "build_parser"]
+
+#: Workload models reachable from ``generate``.
+MODELS = {
+    "feitelson96": Feitelson96Model,
+    "jann97": Jann97Model,
+    "lublin99": Lublin99Model,
+    "downey97": Downey97Model,
+    "uniform": UniformModel,
+    "sessions": SessionModel,
+}
+
+#: Scheduling policies reachable from ``simulate``.
+SCHEDULERS = {
+    "fcfs": FCFSScheduler,
+    "first-fit": FirstFitScheduler,
+    "sjf": ShortestJobFirstScheduler,
+    "easy": EasyBackfillScheduler,
+    "conservative": ConservativeBackfillScheduler,
+}
+
+#: Experiments reachable from ``experiment``.
+EXPERIMENTS = (
+    "e01", "e02", "e03", "e04", "e05", "e06", "e07", "e08", "e09", "e10",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Benchmarks and standards for the evaluation of parallel job schedulers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="check an SWF file against the consistency rules")
+    p_validate.add_argument("trace", help="path to the SWF file")
+    p_validate.add_argument("--max-issues", type=int, default=20, help="issues to print")
+
+    p_stats = sub.add_parser("stats", help="summarize an SWF file")
+    p_stats.add_argument("trace", help="path to the SWF file")
+    p_stats.add_argument("--machine-size", type=int, default=None)
+
+    p_convert = sub.add_parser("convert", help="convert a PBS/NQS-style accounting CSV to SWF")
+    p_convert.add_argument("raw", help="path to the accounting CSV")
+    p_convert.add_argument("output", help="path of the SWF file to write")
+    p_convert.add_argument("--computer", default="unknown parallel machine")
+    p_convert.add_argument("--installation", default="unknown installation")
+    p_convert.add_argument("--max-nodes", type=int, default=None)
+
+    p_generate = sub.add_parser("generate", help="generate a synthetic workload (model or archive)")
+    p_generate.add_argument("source", help=f"model ({', '.join(MODELS)}) or archive ({', '.join(archive_names())})")
+    p_generate.add_argument("output", help="path of the SWF file to write")
+    p_generate.add_argument("--jobs", type=int, default=5000)
+    p_generate.add_argument("--machine-size", type=int, default=128)
+    p_generate.add_argument("--load", type=float, default=None, help="target offered load")
+    p_generate.add_argument("--seed", type=int, default=None)
+
+    p_outages = sub.add_parser("outages", help="generate a standard-format outage log")
+    p_outages.add_argument("machine_size", type=int)
+    p_outages.add_argument("horizon_seconds", type=int)
+    p_outages.add_argument("output", help="path of the outage log to write")
+    p_outages.add_argument("--mtbf-days", type=float, default=7.0)
+    p_outages.add_argument("--seed", type=int, default=None)
+
+    p_simulate = sub.add_parser("simulate", help="replay an SWF file through a scheduler")
+    p_simulate.add_argument("trace", help="path to the SWF file")
+    p_simulate.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="easy")
+    p_simulate.add_argument("--machine-size", type=int, default=None)
+    p_simulate.add_argument("--tau", type=float, default=10.0, help="bounded-slowdown threshold")
+
+    p_experiment = sub.add_parser("experiment", help="run one of the E1..E10 experiment harnesses")
+    p_experiment.add_argument("which", choices=EXPERIMENTS)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# command implementations
+# ----------------------------------------------------------------------
+def _cmd_validate(args) -> int:
+    workload = parse_swf(args.trace)
+    report = validate(workload)
+    print(f"{args.trace}: {len(workload)} jobs, {report.summary()}")
+    for issue in report.issues[: args.max_issues]:
+        print(f"  {issue}")
+    if len(report.issues) > args.max_issues:
+        print(f"  ... and {len(report.issues) - args.max_issues} more")
+    return 0 if report.is_clean else 1
+
+
+def _cmd_stats(args) -> int:
+    workload = parse_swf(args.trace)
+    stats = summarize(workload, machine_size=args.machine_size)
+    print(format_table([stats.as_dict()]))
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    with open(args.raw, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    workload = convert_accounting_csv(
+        text,
+        computer=args.computer,
+        installation=args.installation,
+        max_nodes=args.max_nodes,
+    )
+    report = validate(workload)
+    write_swf(workload, args.output)
+    print(f"wrote {args.output}: {len(workload)} jobs, {report.summary()}")
+    return 0 if report.is_clean else 1
+
+
+def _cmd_generate(args) -> int:
+    if args.source in ARCHIVES:
+        workload = synthetic_archive(args.source, jobs=args.jobs, seed=args.seed)
+    elif args.source in MODELS:
+        model = MODELS[args.source](machine_size=args.machine_size)
+        if args.load is not None:
+            workload = model.generate_with_load(args.jobs, args.load, seed=args.seed)
+        else:
+            workload = model.generate(args.jobs, seed=args.seed)
+    else:
+        print(f"unknown source {args.source!r}; models: {sorted(MODELS)}, archives: {archive_names()}",
+              file=sys.stderr)
+        return 2
+    write_swf(workload, args.output)
+    print(
+        f"wrote {args.output}: {len(workload)} jobs, offered load "
+        f"{workload.offered_load():.2f} on {workload.header.max_nodes} nodes"
+    )
+    return 0
+
+
+def _cmd_outages(args) -> int:
+    log = generate_outages(
+        args.machine_size,
+        args.horizon_seconds,
+        model=OutageModel(mtbf_seconds=args.mtbf_days * 24 * 3600),
+        seed=args.seed,
+    )
+    write_outage_log(log, args.output)
+    print(
+        f"wrote {args.output}: {len(log)} outages "
+        f"({len(log.unscheduled())} failures, {len(log.scheduled())} maintenance windows)"
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    workload = parse_swf(args.trace)
+    scheduler = SCHEDULERS[args.scheduler]()
+    result = simulate(workload, scheduler, machine_size=args.machine_size)
+    report = compute_metrics(result, tau=args.tau)
+    print(format_table([report.as_dict()]))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro import experiments as exp
+
+    module = {
+        "e01": exp.e01_entities,
+        "e02": exp.e02_swf_roundtrip,
+        "e03": exp.e03_metric_ranking,
+        "e04": exp.e04_objective_weights,
+        "e05": exp.e05_feedback,
+        "e06": exp.e06_outages,
+        "e07": exp.e07_models,
+        "e08": exp.e08_moldable,
+        "e09": exp.e09_grid,
+        "e10": exp.e10_warmstones,
+    }[args.which]
+    result = module.run()
+    print(format_table(result.rows()))
+    return 0
+
+
+_COMMANDS = {
+    "validate": _cmd_validate,
+    "stats": _cmd_stats,
+    "convert": _cmd_convert,
+    "generate": _cmd_generate,
+    "outages": _cmd_outages,
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

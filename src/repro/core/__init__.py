@@ -1,0 +1,36 @@
+"""The paper's primary contributions: the SWF and outage-log standards.
+
+* :mod:`repro.core.swf` — the Standard Workload Format, version 2, exactly as
+  specified in Section 2.3 of the paper: 18 integer fields per job, header
+  comments with fixed labels, ``-1`` for missing values, strict consistency
+  rules, multi-line checkpoint records, and the feedback fields.
+* :mod:`repro.core.outage` — the outage-log standard proposed in Section 2.2
+  ("Including outage information"): announced time, start, end, type,
+  nodes affected, affected components.
+"""
+
+from repro.core.swf import (
+    CompletionStatus,
+    SWFHeader,
+    SWFJob,
+    Workload,
+    parse_swf,
+    parse_swf_text,
+    write_swf,
+    write_swf_text,
+)
+from repro.core.outage import OutageRecord, OutageLog, OutageType
+
+__all__ = [
+    "CompletionStatus",
+    "SWFHeader",
+    "SWFJob",
+    "Workload",
+    "parse_swf",
+    "parse_swf_text",
+    "write_swf",
+    "write_swf_text",
+    "OutageRecord",
+    "OutageLog",
+    "OutageType",
+]

@@ -1,0 +1,35 @@
+"""The outage-log standard (Section 2.2) and supporting tools.
+
+* :class:`OutageRecord` / :class:`OutageType` — the six proposed fields,
+* :class:`OutageLog` with :func:`parse_outage_log` / :func:`write_outage_log`
+  — a text format keyed to the workload trace,
+* :func:`generate_outages` — synthetic failure + maintenance process,
+* :class:`AvailabilityTimeline` — the capacity function schedulers and
+  utilization metrics consume.
+"""
+
+from repro.core.outage.records import OutageRecord, OutageType
+from repro.core.outage.log import (
+    TYPE_CODES,
+    OutageLog,
+    parse_outage_log,
+    parse_outage_log_text,
+    write_outage_log,
+    write_outage_log_text,
+)
+from repro.core.outage.generator import OutageModel, generate_outages
+from repro.core.outage.availability import AvailabilityTimeline
+
+__all__ = [
+    "OutageRecord",
+    "OutageType",
+    "TYPE_CODES",
+    "OutageLog",
+    "parse_outage_log",
+    "parse_outage_log_text",
+    "write_outage_log",
+    "write_outage_log_text",
+    "OutageModel",
+    "generate_outages",
+    "AvailabilityTimeline",
+]

@@ -1,0 +1,105 @@
+"""Machine availability derived from an outage log.
+
+The scheduler simulator needs two questions answered:
+
+* how many nodes are available at time ``t`` (capacity timeline), and
+* when is the next change in capacity after ``t`` (so draining can plan).
+
+:class:`AvailabilityTimeline` answers both, and also produces the
+"effective machine size over a window" integral that utilization metrics
+must use when outages are present (the machine-seconds actually available,
+not the nominal size times the window).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional, Tuple
+
+from repro.core.outage.log import OutageLog
+
+__all__ = ["AvailabilityTimeline"]
+
+
+class AvailabilityTimeline:
+    """Piecewise-constant available-capacity function built from an outage log.
+
+    Overlapping outages stack (each removes its own node count) but available
+    capacity never drops below zero — if simultaneous records claim more
+    nodes than exist, the machine is simply fully down for the overlap.
+    """
+
+    def __init__(self, machine_size: int, outages: Optional[OutageLog] = None) -> None:
+        if machine_size < 1:
+            raise ValueError("machine_size must be >= 1")
+        self.machine_size = machine_size
+        self.outages = outages if outages is not None else OutageLog([])
+        self._breakpoints, self._capacities = self._build()
+
+    def _build(self) -> Tuple[List[int], List[int]]:
+        deltas = {}
+        for record in self.outages:
+            deltas[record.start_time] = deltas.get(record.start_time, 0) - record.nodes_affected
+            deltas[record.end_time] = deltas.get(record.end_time, 0) + record.nodes_affected
+        breakpoints = [0]
+        capacities = [self.machine_size]
+        down = 0
+        for time in sorted(deltas):
+            down -= deltas[time]  # deltas are negative at start, positive at end
+            capacity = max(0, self.machine_size - down)
+            if time <= breakpoints[-1]:
+                capacities[-1] = capacity
+            else:
+                breakpoints.append(time)
+                capacities.append(capacity)
+        return breakpoints, capacities
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def capacity_at(self, time: int) -> int:
+        """Available node count at ``time`` (nominal size before any outage)."""
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        index = bisect_right(self._breakpoints, time) - 1
+        return self._capacities[max(0, index)]
+
+    def next_change_after(self, time: int) -> Optional[int]:
+        """The next instant at which available capacity changes, or ``None``."""
+        index = bisect_right(self._breakpoints, time)
+        if index >= len(self._breakpoints):
+            return None
+        return self._breakpoints[index]
+
+    def minimum_capacity(self, start: int, end: int) -> int:
+        """Smallest available capacity anywhere in the window [start, end)."""
+        if end <= start:
+            return self.capacity_at(start)
+        minimum = self.capacity_at(start)
+        t = self.next_change_after(start)
+        while t is not None and t < end:
+            minimum = min(minimum, self.capacity_at(t))
+            t = self.next_change_after(t)
+        return minimum
+
+    def available_node_seconds(self, start: int, end: int) -> int:
+        """Integral of available capacity over [start, end) in node-seconds.
+
+        This is the denominator utilization must use when the machine was not
+        fully available for the whole window.
+        """
+        if end <= start:
+            return 0
+        total = 0
+        t = start
+        while t < end:
+            capacity = self.capacity_at(t)
+            nxt = self.next_change_after(t)
+            segment_end = end if nxt is None or nxt > end else nxt
+            total += capacity * (segment_end - t)
+            t = segment_end
+        return total
+
+    def breakpoints(self) -> List[Tuple[int, int]]:
+        """(time, capacity) pairs describing the piecewise-constant function."""
+        return list(zip(self._breakpoints, self._capacities))

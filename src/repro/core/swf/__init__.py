@@ -1,0 +1,102 @@
+"""The Standard Workload Format, version 2 — the paper's primary contribution.
+
+Public surface:
+
+* :class:`SWFJob` — one job line (18 integer fields),
+* :class:`SWFHeader` — the ``;Label: value`` header comments,
+* :class:`Workload` — header + ordered job list, with workload-level helpers,
+* :func:`parse_swf` / :func:`parse_swf_text` and
+  :func:`write_swf` / :func:`write_swf_text` — lossless round-trip I/O,
+* :func:`validate` — the standard's consistency rules,
+* :func:`anonymize_workload` / :class:`IdentityMapper` — incremental
+  renumbering of users, groups, and executables,
+* :func:`annotate_feedback` / :func:`sessions_of` — the feedback extension
+  (fields 17 and 18),
+* :mod:`~repro.core.swf.checkpoint` — multi-line checkpoint/swap records,
+* :mod:`~repro.core.swf.converters` — raw accounting-log converters,
+* :func:`summarize` — descriptive workload statistics.
+"""
+
+from repro.core.swf.fields import (
+    FIELD_COUNT,
+    FIELD_NAMES,
+    INTERACTIVE_QUEUE,
+    MISSING,
+    SWF_VERSION,
+    CompletionStatus,
+    RequestedTimeKind,
+)
+from repro.core.swf.records import SWFJob
+from repro.core.swf.header import HeaderEntry, SWFHeader
+from repro.core.swf.workload import Workload
+from repro.core.swf.parser import ParseReport, SWFParseError, parse_swf, parse_swf_text
+from repro.core.swf.writer import format_job_line, write_swf, write_swf_text
+from repro.core.swf.validator import Severity, ValidationIssue, ValidationReport, validate
+from repro.core.swf.anonymize import IdentityMapper, anonymize_workload
+from repro.core.swf.feedback import (
+    FeedbackStats,
+    annotate_feedback,
+    sessions_of,
+    strip_feedback,
+)
+from repro.core.swf.checkpoint import (
+    CheckpointedJob,
+    expand_to_bursts,
+    group_checkpointed,
+    summarize_bursts,
+)
+from repro.core.swf.converters import (
+    ACCOUNTING_CSV_COLUMNS,
+    ConversionError,
+    convert_accounting_csv,
+    convert_ipsc_log,
+)
+from repro.core.swf.statistics import (
+    DistributionSummary,
+    WorkloadStatistics,
+    describe_distribution,
+    summarize,
+)
+
+__all__ = [
+    "FIELD_COUNT",
+    "FIELD_NAMES",
+    "INTERACTIVE_QUEUE",
+    "MISSING",
+    "SWF_VERSION",
+    "CompletionStatus",
+    "RequestedTimeKind",
+    "SWFJob",
+    "HeaderEntry",
+    "SWFHeader",
+    "Workload",
+    "ParseReport",
+    "SWFParseError",
+    "parse_swf",
+    "parse_swf_text",
+    "format_job_line",
+    "write_swf",
+    "write_swf_text",
+    "Severity",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate",
+    "IdentityMapper",
+    "anonymize_workload",
+    "FeedbackStats",
+    "annotate_feedback",
+    "sessions_of",
+    "strip_feedback",
+    "CheckpointedJob",
+    "expand_to_bursts",
+    "group_checkpointed",
+    "summarize_bursts",
+    "ACCOUNTING_CSV_COLUMNS",
+    "ConversionError",
+    "convert_accounting_csv",
+    "convert_ipsc_log",
+    "DistributionSummary",
+    "WorkloadStatistics",
+    "describe_distribution",
+    "summarize",
+]

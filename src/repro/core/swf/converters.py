@@ -1,0 +1,286 @@
+"""Converters from raw accounting-log formats to the Standard Workload Format.
+
+The motivation for the standard was precisely that every site's accounting
+log "appears in different orders and formats".  This module implements the
+conversion pipeline the standard implies:
+
+1. parse the site-specific record format,
+2. anonymize users / groups / executables to incremental numbers
+   (:class:`~repro.core.swf.anonymize.IdentityMapper`),
+3. shift times so the earliest submittal is zero,
+4. sort by ascending submit time and renumber jobs 1..N,
+5. attach a descriptive header.
+
+Two representative raw formats are supported:
+
+* :func:`convert_accounting_csv` — a PBS/NQS-style comma-separated accounting
+  log with absolute UNIX timestamps (submit/start/end), user, group, queue,
+  processor count, memory, and exit status.  This is the shape of the logs
+  behind the CTC SP2 and SDSC Paragon archive traces.
+* :func:`convert_ipsc_log` — a whitespace-separated log in the style of the
+  NASA Ames iPSC/860 records (user, application, cube size, date, time,
+  runtime, job class).
+
+Both return a standard-conforming :class:`~repro.core.swf.workload.Workload`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.swf.anonymize import IdentityMapper
+from repro.core.swf.fields import MISSING
+from repro.core.swf.header import SWFHeader
+from repro.core.swf.records import SWFJob
+from repro.core.swf.workload import Workload
+
+__all__ = [
+    "ConversionError",
+    "convert_accounting_csv",
+    "convert_ipsc_log",
+    "ACCOUNTING_CSV_COLUMNS",
+]
+
+
+class ConversionError(ValueError):
+    """Raised when a raw log record cannot be interpreted."""
+
+
+#: Expected column names of the generic accounting CSV format.
+ACCOUNTING_CSV_COLUMNS: tuple = (
+    "job_id",
+    "user",
+    "group",
+    "queue",
+    "submit_ts",
+    "start_ts",
+    "end_ts",
+    "processors",
+    "requested_processors",
+    "requested_seconds",
+    "mem_kb",
+    "requested_mem_kb",
+    "cpu_seconds",
+    "exit_status",
+    "executable",
+    "partition",
+)
+
+
+def _int_or_missing(value: Optional[str]) -> int:
+    if value is None:
+        return MISSING
+    value = value.strip()
+    if value in ("", "-", "-1", "NA", "na", "None"):
+        return MISSING
+    try:
+        return int(float(value))
+    except ValueError as exc:
+        raise ConversionError(f"cannot interpret {value!r} as an integer") from exc
+
+
+@dataclass
+class _RawJob:
+    """Intermediate representation shared by the converters."""
+
+    submit_ts: int
+    wait: int
+    runtime: int
+    processors: int
+    cpu_seconds: int = MISSING
+    mem_kb: int = MISSING
+    requested_processors: int = MISSING
+    requested_seconds: int = MISSING
+    requested_mem_kb: int = MISSING
+    status: int = MISSING
+    user: Optional[str] = None
+    group: Optional[str] = None
+    executable: Optional[str] = None
+    queue: Optional[str] = None
+    partition: Optional[str] = None
+    interactive: bool = False
+
+
+def _assemble(raw_jobs: List[_RawJob], header: SWFHeader, name: str) -> Workload:
+    """Steps 2-5 of the conversion pipeline, shared by all converters."""
+    users = IdentityMapper()
+    groups = IdentityMapper()
+    executables = IdentityMapper()
+    queues = IdentityMapper(start=1)
+    partitions = IdentityMapper()
+
+    raw_jobs = sorted(raw_jobs, key=lambda r: r.submit_ts)
+    if not raw_jobs:
+        return Workload([], header, name=name)
+    origin = raw_jobs[0].submit_ts
+
+    jobs: List[SWFJob] = []
+    for index, raw in enumerate(raw_jobs, start=1):
+        queue_number = 0 if raw.interactive else (
+            queues.map(raw.queue) if raw.queue is not None else MISSING
+        )
+        jobs.append(
+            SWFJob(
+                job_number=index,
+                submit_time=raw.submit_ts - origin,
+                wait_time=raw.wait,
+                run_time=raw.runtime,
+                allocated_processors=raw.processors,
+                average_cpu_time=raw.cpu_seconds,
+                used_memory=raw.mem_kb,
+                requested_processors=raw.requested_processors,
+                requested_time=raw.requested_seconds,
+                requested_memory=raw.requested_mem_kb,
+                status=raw.status,
+                user_id=users.map(raw.user),
+                group_id=groups.map(raw.group),
+                executable_id=executables.map(raw.executable),
+                queue_number=queue_number,
+                partition_number=partitions.map(raw.partition),
+            )
+        )
+    return Workload(jobs, header, name=name)
+
+
+# ----------------------------------------------------------------------
+# generic accounting CSV (PBS / NQS style)
+# ----------------------------------------------------------------------
+def convert_accounting_csv(
+    text: str,
+    computer: str = "unknown parallel machine",
+    installation: str = "unknown installation",
+    max_nodes: Optional[int] = None,
+    name: str = "converted",
+) -> Workload:
+    """Convert a PBS/NQS-style accounting CSV log to a standard workload.
+
+    The CSV must carry a header row naming at least ``job_id, user, queue,
+    submit_ts, start_ts, end_ts, processors``; the remaining columns of
+    :data:`ACCOUNTING_CSV_COLUMNS` are optional.  Timestamps are absolute
+    seconds (UNIX time); an ``exit_status`` of 0 maps to "completed" and any
+    other known value to "killed", per the usual convention.
+    """
+    reader = csv.DictReader(io.StringIO(text))
+    if reader.fieldnames is None:
+        raise ConversionError("the accounting CSV has no header row")
+    missing_columns = {"job_id", "user", "queue", "submit_ts", "start_ts", "end_ts", "processors"} - set(
+        c.strip() for c in reader.fieldnames
+    )
+    if missing_columns:
+        raise ConversionError(
+            f"the accounting CSV is missing required columns: {sorted(missing_columns)}"
+        )
+
+    raw_jobs: List[_RawJob] = []
+    for row_number, row in enumerate(reader, start=2):
+        submit = _int_or_missing(row.get("submit_ts"))
+        start = _int_or_missing(row.get("start_ts"))
+        end = _int_or_missing(row.get("end_ts"))
+        if submit == MISSING:
+            raise ConversionError(f"row {row_number}: submit_ts is required")
+        if start != MISSING and start < submit:
+            raise ConversionError(f"row {row_number}: start_ts precedes submit_ts")
+        if end != MISSING and start != MISSING and end < start:
+            raise ConversionError(f"row {row_number}: end_ts precedes start_ts")
+        wait = start - submit if start != MISSING else MISSING
+        runtime = end - start if (start != MISSING and end != MISSING) else MISSING
+        exit_status = row.get("exit_status")
+        if exit_status is None or exit_status.strip() in ("", "-"):
+            status = MISSING
+        else:
+            status = 1 if _int_or_missing(exit_status) == 0 else 0
+        queue = (row.get("queue") or "").strip()
+        raw_jobs.append(
+            _RawJob(
+                submit_ts=submit,
+                wait=wait,
+                runtime=runtime,
+                processors=_int_or_missing(row.get("processors")),
+                cpu_seconds=_int_or_missing(row.get("cpu_seconds")),
+                mem_kb=_int_or_missing(row.get("mem_kb")),
+                requested_processors=_int_or_missing(row.get("requested_processors")),
+                requested_seconds=_int_or_missing(row.get("requested_seconds")),
+                requested_mem_kb=_int_or_missing(row.get("requested_mem_kb")),
+                status=status,
+                user=(row.get("user") or "").strip() or None,
+                group=(row.get("group") or "").strip() or None,
+                executable=(row.get("executable") or "").strip() or None,
+                queue=queue or None,
+                partition=(row.get("partition") or "").strip() or None,
+                interactive=queue.lower() in ("interactive", "inter", "debug"),
+            )
+        )
+
+    sizes = [r.processors for r in raw_jobs if r.processors != MISSING]
+    header = SWFHeader.standard(
+        computer=computer,
+        installation=installation,
+        max_nodes=max_nodes if max_nodes is not None else (max(sizes) if sizes else 0),
+        notes=["Converted from a PBS/NQS-style accounting CSV by repro.core.swf.converters."],
+    )
+    return _assemble(raw_jobs, header, name)
+
+
+# ----------------------------------------------------------------------
+# NASA Ames iPSC/860-style log
+# ----------------------------------------------------------------------
+def convert_ipsc_log(
+    text: str,
+    computer: str = "Intel iPSC/860",
+    installation: str = "NAS-like installation",
+    max_nodes: int = 128,
+    name: str = "ipsc-converted",
+) -> Workload:
+    """Convert a NASA-Ames-iPSC/860-style log to a standard workload.
+
+    Each non-comment line carries whitespace-separated fields::
+
+        user  executable  nodes  submit_seconds  runtime_seconds  class
+
+    where ``class`` is ``batch`` or ``interactive`` and times are seconds from
+    the start of the log (this mirrors the content — not the exact syntax —
+    of the iPSC/860 trace described by Feitelson & Nitzberg 1995; the exact
+    original syntax is irrelevant because only the converted SWF is consumed
+    downstream).  Jobs on the iPSC ran to completion, so the status field is
+    set to "completed"; the machine had no batch queue wait recording, so the
+    wait time is zero.
+    """
+    raw_jobs: List[_RawJob] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#") or stripped.startswith(";"):
+            continue
+        tokens = stripped.split()
+        if len(tokens) != 6:
+            raise ConversionError(
+                f"line {line_number}: expected 6 whitespace-separated fields, got {len(tokens)}"
+            )
+        user, executable, nodes, submit, runtime, job_class = tokens
+        nodes_i = _int_or_missing(nodes)
+        if nodes_i != MISSING and (nodes_i < 1 or (nodes_i & (nodes_i - 1)) != 0):
+            raise ConversionError(
+                f"line {line_number}: the iPSC/860 allocates power-of-two sub-cubes, got {nodes_i}"
+            )
+        raw_jobs.append(
+            _RawJob(
+                submit_ts=_int_or_missing(submit),
+                wait=0,
+                runtime=_int_or_missing(runtime),
+                processors=nodes_i,
+                status=1,
+                user=user,
+                executable=executable,
+                queue="interactive" if job_class.lower().startswith("i") else "batch",
+                interactive=job_class.lower().startswith("i"),
+            )
+        )
+    header = SWFHeader.standard(
+        computer=computer,
+        installation=installation,
+        max_nodes=max_nodes,
+        notes=["Converted from an iPSC/860-style log by repro.core.swf.converters."],
+    )
+    return _assemble(raw_jobs, header, name)

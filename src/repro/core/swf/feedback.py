@@ -1,0 +1,161 @@
+"""Feedback annotation: inserting postulated job dependencies into a workload.
+
+Section 2.2 ("Including feedback") observes that accounting logs record
+absolute arrival times and therefore lose the dependence of a user's next
+submittal on the completion of the previous job.  The proposed remedy, which
+fields 17 ("Preceding Job Number") and 18 ("Think Time from Preceding Job")
+make expressible, is:
+
+    "we identify sequences of dependent jobs (e.g. all those submitted by the
+    same user in rapid succession), and replace the absolute arrival times of
+    jobs in the sequence with interarrival times relative to the previous job
+    in the sequence."
+
+:func:`annotate_feedback` implements exactly that heuristic: for each user it
+walks the jobs in submit order and, whenever a job was submitted within
+``max_think_time`` seconds of the termination of the user's previous job
+(and not before it terminated), it records the dependency and the observed
+think time.  :func:`sessions_of` groups jobs into the resulting dependency
+chains ("sessions"), and :func:`strip_feedback` removes the annotation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.swf.fields import MISSING
+from repro.core.swf.header import SWFHeader
+from repro.core.swf.records import SWFJob
+from repro.core.swf.workload import Workload
+
+__all__ = [
+    "FeedbackStats",
+    "annotate_feedback",
+    "strip_feedback",
+    "sessions_of",
+]
+
+
+@dataclass(frozen=True)
+class FeedbackStats:
+    """Summary of an :func:`annotate_feedback` run."""
+
+    total_jobs: int
+    annotated_jobs: int
+    sessions: int
+    mean_think_time: float
+
+    @property
+    def annotated_fraction(self) -> float:
+        """Fraction of jobs that received a preceding-job dependency."""
+        if self.total_jobs == 0:
+            return 0.0
+        return self.annotated_jobs / self.total_jobs
+
+
+def annotate_feedback(
+    workload: Workload,
+    max_think_time: int = 20 * 60,
+    same_user_only: bool = True,
+) -> "tuple[Workload, FeedbackStats]":
+    """Insert postulated dependencies (fields 17/18) into a workload.
+
+    Parameters
+    ----------
+    workload:
+        The workload to annotate; only summary lines are considered.
+    max_think_time:
+        A job is considered dependent on the user's previous job when it was
+        submitted no more than this many seconds after that job terminated
+        (default 20 minutes, the usual session-boundary threshold in the
+        literature).
+    same_user_only:
+        Restrict dependency chains to jobs of the same user (the paper's
+        heuristic).  When false, chains are built per (user, executable).
+
+    Returns
+    -------
+    (workload, stats)
+        A new workload with fields 17/18 filled in where the heuristic
+        applies, and a :class:`FeedbackStats` summary.
+    """
+    if max_think_time < 0:
+        raise ValueError("max_think_time must be non-negative")
+
+    jobs = sorted(workload.summary_jobs(), key=lambda j: (j.submit_time, j.job_number))
+    last_job_of_key: Dict[object, SWFJob] = {}
+    annotated: Dict[int, SWFJob] = {}
+    think_times: List[int] = []
+    session_count = 0
+
+    for job in jobs:
+        if job.user_id == MISSING or job.submit_time == MISSING:
+            annotated[job.job_number] = job
+            continue
+        key = job.user_id if same_user_only else (job.user_id, job.executable_id)
+        previous = last_job_of_key.get(key)
+        new_job = job
+        if previous is not None and previous.end_time is not None:
+            gap = job.submit_time - previous.end_time
+            if 0 <= gap <= max_think_time:
+                new_job = job.replace(
+                    preceding_job=previous.job_number, think_time=int(gap)
+                )
+                think_times.append(int(gap))
+            else:
+                session_count += 1
+        else:
+            session_count += 1
+        annotated[job.job_number] = new_job
+        last_job_of_key[key] = job
+
+    out_jobs = [annotated.get(j.job_number, j) if j.is_summary_line else j for j in workload]
+    result = Workload(out_jobs, SWFHeader(workload.header.entries), name=workload.name)
+    stats = FeedbackStats(
+        total_jobs=len(jobs),
+        annotated_jobs=len(think_times),
+        sessions=session_count,
+        mean_think_time=(sum(think_times) / len(think_times)) if think_times else 0.0,
+    )
+    return result, stats
+
+
+def strip_feedback(workload: Workload) -> Workload:
+    """Remove all preceding-job / think-time annotations from a workload."""
+    jobs = [
+        job.replace(preceding_job=MISSING, think_time=MISSING)
+        if job.preceding_job != MISSING or job.think_time != MISSING
+        else job
+        for job in workload
+    ]
+    return Workload(jobs, SWFHeader(workload.header.entries), name=workload.name)
+
+
+def sessions_of(workload: Workload) -> List[List[SWFJob]]:
+    """Group summary jobs into dependency chains ("sessions").
+
+    A session is a maximal chain ``j1 -> j2 -> ...`` where each job names the
+    previous one in field 17.  Jobs without a dependency start a new session.
+    Sessions are returned in order of their first job's submit time.
+    """
+    summary = {j.job_number: j for j in workload.summary_jobs()}
+    successor: Dict[int, int] = {}
+    has_predecessor = set()
+    for job in summary.values():
+        if job.has_dependency and job.preceding_job in summary:
+            successor[job.preceding_job] = job.job_number
+            has_predecessor.add(job.job_number)
+
+    sessions: List[List[SWFJob]] = []
+    for job in sorted(summary.values(), key=lambda j: (j.submit_time, j.job_number)):
+        if job.job_number in has_predecessor:
+            continue
+        chain = [job]
+        current = job.job_number
+        while current in successor:
+            current = successor[current]
+            chain.append(summary[current])
+        sessions.append(chain)
+    return sessions

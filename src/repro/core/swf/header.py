@@ -1,0 +1,234 @@
+"""Header comments of a Standard Workload Format file.
+
+The first lines of an SWF file may be special comments of the form
+``;Label: value`` that describe the workload as a whole (Section 2.3,
+"Header Comments").  :class:`SWFHeader` models them with typed accessors for
+the labels the standard predefines, while preserving unknown labels and their
+order so that a parse → write round trip is lossless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.swf.fields import HEADER_LABELS, SWF_VERSION, RequestedTimeKind
+
+__all__ = ["SWFHeader", "HeaderEntry"]
+
+
+@dataclass(frozen=True)
+class HeaderEntry:
+    """One ``;Label: value`` header comment line."""
+
+    label: str
+    value: str
+
+    def format(self) -> str:
+        """Render the entry as it appears in the file."""
+        return f"; {self.label}: {self.value}"
+
+
+class SWFHeader:
+    """Ordered collection of header comments with typed convenience accessors.
+
+    The header behaves like a multimap: labels such as ``Note``, ``Queue`` and
+    ``Partition`` may legitimately appear several times, so :meth:`get`
+    returns the first value and :meth:`get_all` every value in order.
+    """
+
+    def __init__(self, entries: Optional[Iterable[HeaderEntry]] = None) -> None:
+        self._entries: List[HeaderEntry] = list(entries or [])
+
+    # ------------------------------------------------------------------
+    # generic access
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> Tuple[HeaderEntry, ...]:
+        """All header entries in file order."""
+        return tuple(self._entries)
+
+    def add(self, label: str, value) -> "SWFHeader":
+        """Append a header entry (returns self for chaining)."""
+        label = str(label).strip()
+        if not label:
+            raise ValueError("header label must be non-empty")
+        self._entries.append(HeaderEntry(label=label, value=str(value).strip()))
+        return self
+
+    def set(self, label: str, value) -> "SWFHeader":
+        """Replace all entries with ``label`` by a single entry (or append)."""
+        label = str(label).strip()
+        kept = [e for e in self._entries if e.label.lower() != label.lower()]
+        kept.append(HeaderEntry(label=label, value=str(value).strip()))
+        self._entries = kept
+        return self
+
+    def get(self, label: str, default: Optional[str] = None) -> Optional[str]:
+        """First value recorded for ``label`` (case-insensitive), or ``default``."""
+        for entry in self._entries:
+            if entry.label.lower() == label.lower():
+                return entry.value
+        return default
+
+    def get_all(self, label: str) -> List[str]:
+        """Every value recorded for ``label``, in order."""
+        return [e.value for e in self._entries if e.label.lower() == label.lower()]
+
+    def get_int(self, label: str, default: Optional[int] = None) -> Optional[int]:
+        """First value for ``label`` parsed as an integer, or ``default``."""
+        raw = self.get(label)
+        if raw is None:
+            return default
+        try:
+            return int(float(raw.split()[0]))
+        except (ValueError, IndexError):
+            return default
+
+    def get_bool(self, label: str, default: Optional[bool] = None) -> Optional[bool]:
+        """First value for ``label`` parsed as a Yes/No boolean, or ``default``."""
+        raw = self.get(label)
+        if raw is None:
+            return default
+        lowered = raw.strip().lower()
+        if lowered in ("yes", "true", "1"):
+            return True
+        if lowered in ("no", "false", "0"):
+            return False
+        return default
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, label: str) -> bool:
+        return self.get(label) is not None
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SWFHeader):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SWFHeader({len(self._entries)} entries)"
+
+    # ------------------------------------------------------------------
+    # typed accessors for the predefined labels
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> Optional[int]:
+        """Value of the ``Version`` label."""
+        return self.get_int("Version")
+
+    @property
+    def computer(self) -> Optional[str]:
+        return self.get("Computer")
+
+    @property
+    def installation(self) -> Optional[str]:
+        return self.get("Installation")
+
+    @property
+    def max_nodes(self) -> Optional[int]:
+        """System size from ``MaxNodes`` (falls back to ``MaxProcs``)."""
+        nodes = self.get_int("MaxNodes")
+        if nodes is not None:
+            return nodes
+        return self.get_int("MaxProcs")
+
+    @property
+    def max_runtime(self) -> Optional[int]:
+        return self.get_int("MaxRuntime")
+
+    @property
+    def max_memory(self) -> Optional[int]:
+        return self.get_int("MaxMemory")
+
+    @property
+    def allow_overuse(self) -> Optional[bool]:
+        return self.get_bool("AllowOveruse")
+
+    @property
+    def start_time(self) -> Optional[str]:
+        return self.get("StartTime")
+
+    @property
+    def end_time(self) -> Optional[str]:
+        return self.get("EndTime")
+
+    @property
+    def notes(self) -> List[str]:
+        return self.get_all("Note")
+
+    @property
+    def requested_time_kind(self) -> RequestedTimeKind:
+        """How field 9 should be interpreted, derived from header notes.
+
+        The standard says the meaning of "Requested Time" (wall-clock versus
+        average CPU time per processor) "is determined by a header comment";
+        we look for a ``Note`` containing "cpu" near "requested time" and
+        default to wall-clock, which is what every archive log uses.
+        """
+        for note in self.notes:
+            lowered = note.lower()
+            if "requested time" in lowered or "requested_time" in lowered:
+                if "cpu" in lowered:
+                    return RequestedTimeKind.AVERAGE_CPU
+                return RequestedTimeKind.WALLCLOCK
+        return RequestedTimeKind.WALLCLOCK
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def standard(
+        cls,
+        computer: str,
+        installation: str,
+        max_nodes: int,
+        max_runtime: Optional[int] = None,
+        max_memory: Optional[int] = None,
+        allow_overuse: bool = False,
+        conversion: str = "repro parsched-bench",
+        acknowledge: str = "synthetic workload (no acknowledgement required)",
+        queues: Optional[str] = None,
+        partitions: Optional[str] = None,
+        notes: Optional[Iterable[str]] = None,
+    ) -> "SWFHeader":
+        """Build a header carrying every predefined label that applies.
+
+        This is what the synthetic-archive generators use so that generated
+        traces are self-describing, exactly like archive traces.
+        """
+        header = cls()
+        header.add("Version", SWF_VERSION)
+        header.add("Computer", computer)
+        header.add("Installation", installation)
+        header.add("Acknowledge", acknowledge)
+        header.add("Conversion", conversion)
+        header.add("MaxNodes", max_nodes)
+        if max_runtime is not None:
+            header.add("MaxRuntime", max_runtime)
+        if max_memory is not None:
+            header.add("MaxMemory", max_memory)
+        header.add("AllowOveruse", "Yes" if allow_overuse else "No")
+        header.add(
+            "Queues",
+            queues
+            if queues is not None
+            else "queue 0 denotes interactive jobs, queue 1 denotes batch jobs",
+        )
+        if partitions is not None:
+            header.add("Partitions", partitions)
+        for note in notes or ():
+            header.add("Note", note)
+        return header
+
+    def known_labels(self) -> List[str]:
+        """Labels present in this header that the standard predefines."""
+        predefined = {label.lower() for label in HEADER_LABELS}
+        return [e.label for e in self._entries if e.label.lower() in predefined]
+
+    def unknown_labels(self) -> List[str]:
+        """Labels present in this header that the standard does not predefine."""
+        predefined = {label.lower() for label in HEADER_LABELS}
+        return [e.label for e in self._entries if e.label.lower() not in predefined]

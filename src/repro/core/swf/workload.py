@@ -1,0 +1,230 @@
+"""The :class:`Workload` container: a header plus an ordered list of jobs.
+
+A workload is what every other part of the library consumes: schedulers
+replay it, models generate it, statistics summarize it, and the SWF parser
+and writer convert it to and from the on-disk standard format.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.swf.fields import MISSING
+from repro.core.swf.header import SWFHeader
+from repro.core.swf.records import SWFJob
+
+__all__ = ["Workload"]
+
+
+class Workload:
+    """An ordered collection of :class:`SWFJob` records with an :class:`SWFHeader`.
+
+    The class is deliberately list-like (iteration, ``len``, indexing) and
+    adds the workload-level operations the evaluation methodology needs:
+    summary-line filtering, time-span and offered-load computation, load
+    scaling, and job renumbering.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[Iterable[SWFJob]] = None,
+        header: Optional[SWFHeader] = None,
+        name: str = "workload",
+    ) -> None:
+        self._jobs: List[SWFJob] = list(jobs or [])
+        self.header: SWFHeader = header if header is not None else SWFHeader()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[SWFJob]:
+        return iter(self._jobs)
+
+    def __getitem__(self, index):
+        return self._jobs[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Workload):
+            return NotImplemented
+        return self._jobs == other._jobs and self.header == other.header
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Workload(name={self.name!r}, jobs={len(self._jobs)})"
+
+    @property
+    def jobs(self) -> List[SWFJob]:
+        """The job list (a reference, not a copy; treat as read-only)."""
+        return self._jobs
+
+    def append(self, job: SWFJob) -> None:
+        """Append a job to the workload."""
+        self._jobs.append(job)
+
+    def extend(self, jobs: Iterable[SWFJob]) -> None:
+        """Append several jobs to the workload."""
+        self._jobs.extend(jobs)
+
+    def copy(self, name: Optional[str] = None) -> "Workload":
+        """Shallow copy (jobs are immutable, so sharing them is safe)."""
+        return Workload(
+            jobs=list(self._jobs),
+            header=SWFHeader(self.header.entries),
+            name=name if name is not None else self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # views and filters
+    # ------------------------------------------------------------------
+    def summary_jobs(self) -> List[SWFJob]:
+        """Only whole-job lines (status -1/0/1), as workload studies should use."""
+        return [job for job in self._jobs if job.is_summary_line]
+
+    def partial_jobs(self) -> List[SWFJob]:
+        """Only the partial-execution burst lines (status 2/3/4)."""
+        return [job for job in self._jobs if not job.is_summary_line]
+
+    def filter(self, predicate: Callable[[SWFJob], bool], name: Optional[str] = None) -> "Workload":
+        """New workload containing the jobs for which ``predicate`` is true."""
+        return Workload(
+            jobs=[job for job in self._jobs if predicate(job)],
+            header=SWFHeader(self.header.entries),
+            name=name if name is not None else f"{self.name}-filtered",
+        )
+
+    def sorted_by_submit(self) -> "Workload":
+        """New workload with jobs sorted by ascending submit time (stable)."""
+        ordered = sorted(self._jobs, key=lambda j: (j.submit_time, j.job_number))
+        return Workload(ordered, SWFHeader(self.header.entries), name=self.name)
+
+    def renumbered(self) -> "Workload":
+        """New workload with job numbers rewritten to 1..N in current order.
+
+        Dependency references (field 17) are remapped when the preceding job
+        is present in the workload and dropped otherwise, preserving the
+        standard's requirement that job numbers match line numbers.
+        """
+        mapping = {job.job_number: idx + 1 for idx, job in enumerate(self._jobs)}
+        renumbered: List[SWFJob] = []
+        for idx, job in enumerate(self._jobs):
+            preceding = job.preceding_job
+            think = job.think_time
+            if preceding != MISSING:
+                if preceding in mapping:
+                    preceding = mapping[preceding]
+                else:
+                    preceding = MISSING
+                    think = MISSING
+            renumbered.append(
+                job.replace(job_number=idx + 1, preceding_job=preceding, think_time=think)
+            )
+        return Workload(renumbered, SWFHeader(self.header.entries), name=self.name)
+
+    # ------------------------------------------------------------------
+    # workload-level quantities
+    # ------------------------------------------------------------------
+    def span(self) -> int:
+        """Seconds from the first submit to the last known completion (or submit)."""
+        jobs = self.summary_jobs()
+        if not jobs:
+            return 0
+        start = min(job.submit_time for job in jobs if job.submit_time != MISSING)
+        end = start
+        for job in jobs:
+            candidate = job.end_time
+            if candidate is None:
+                candidate = job.submit_time
+            if candidate is not None and candidate != MISSING:
+                end = max(end, candidate)
+        return max(0, end - start)
+
+    def total_area(self) -> int:
+        """Total processor-seconds demanded by summary jobs with known size and runtime."""
+        return sum(job.area or 0 for job in self.summary_jobs())
+
+    def offered_load(self, machine_size: Optional[int] = None) -> float:
+        """Offered load: total area divided by (machine size x submit-time span).
+
+        ``machine_size`` defaults to the header's MaxNodes.  Returns 0.0 for
+        degenerate workloads (no span or unknown machine size).
+        """
+        if machine_size is None:
+            machine_size = self.header.max_nodes
+        if not machine_size:
+            return 0.0
+        jobs = self.summary_jobs()
+        if len(jobs) < 2:
+            return 0.0
+        submit_times = [j.submit_time for j in jobs if j.submit_time != MISSING]
+        if not submit_times:
+            return 0.0
+        span = max(submit_times) - min(submit_times)
+        if span <= 0:
+            return 0.0
+        return self.total_area() / (machine_size * span)
+
+    def max_processors(self) -> int:
+        """Largest processor count appearing in the workload (0 if none known)."""
+        sizes = [job.processors for job in self.summary_jobs() if job.processors != MISSING]
+        return max(sizes) if sizes else 0
+
+    def users(self) -> List[int]:
+        """Sorted distinct user ids (missing values excluded)."""
+        return sorted({j.user_id for j in self._jobs if j.user_id != MISSING})
+
+    def groups(self) -> List[int]:
+        """Sorted distinct group ids (missing values excluded)."""
+        return sorted({j.group_id for j in self._jobs if j.group_id != MISSING})
+
+    def executables(self) -> List[int]:
+        """Sorted distinct executable ids (missing values excluded)."""
+        return sorted({j.executable_id for j in self._jobs if j.executable_id != MISSING})
+
+    # ------------------------------------------------------------------
+    # transformations used by the evaluation methodology
+    # ------------------------------------------------------------------
+    def scale_load(self, factor: float, name: Optional[str] = None) -> "Workload":
+        """Change the offered load by stretching or compressing interarrival times.
+
+        A ``factor`` of 1.2 increases the offered load by 20% (arrivals come
+        20% faster); runtimes and sizes are untouched, which is the standard
+        way the literature varies load when replaying a trace or model.
+        """
+        if factor <= 0:
+            raise ValueError("load scale factor must be positive")
+        scaled = [
+            job.replace(submit_time=int(round(job.submit_time / factor)))
+            if job.submit_time != MISSING
+            else job
+            for job in self._jobs
+        ]
+        wl = Workload(scaled, SWFHeader(self.header.entries),
+                      name=name if name is not None else f"{self.name}-x{factor:g}")
+        return wl.sorted_by_submit().renumbered()
+
+    def truncate(self, max_jobs: int, name: Optional[str] = None) -> "Workload":
+        """Keep only the first ``max_jobs`` jobs (by current order)."""
+        if max_jobs < 0:
+            raise ValueError("max_jobs must be non-negative")
+        return Workload(
+            self._jobs[:max_jobs],
+            SWFHeader(self.header.entries),
+            name=name if name is not None else f"{self.name}-head{max_jobs}",
+        )
+
+    def shift_origin(self) -> "Workload":
+        """Shift submit times so the earliest submit time becomes zero."""
+        jobs = [j for j in self._jobs if j.submit_time != MISSING]
+        if not jobs:
+            return self.copy()
+        origin = min(j.submit_time for j in jobs)
+        shifted = [
+            job.replace(submit_time=job.submit_time - origin)
+            if job.submit_time != MISSING
+            else job
+            for job in self._jobs
+        ]
+        return Workload(shifted, SWFHeader(self.header.entries), name=self.name)

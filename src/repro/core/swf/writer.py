@@ -1,0 +1,72 @@
+"""Writing Standard Workload Format files.
+
+The writer emits the header comments first (one ``; Label: value`` line per
+entry, in the order they were added), a separator comment, and then one line
+of 18 space-separated integers per job.  Output produced by
+:func:`write_swf_text` always round-trips through
+:func:`~repro.core.swf.parser.parse_swf_text` to an equal workload — that
+property is enforced by the test suite and by experiment E2.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, TextIO, Union
+
+from repro.core.swf.workload import Workload
+
+__all__ = ["write_swf", "write_swf_text", "format_job_line"]
+
+
+def format_job_line(job, column_widths: Optional[list] = None) -> str:
+    """Render one job as a space-separated integer line.
+
+    ``column_widths`` (optional) right-aligns fields for human-readable
+    output; alignment whitespace is insignificant to the parser.
+    """
+    fields = job.to_fields()
+    if column_widths is None:
+        return " ".join(str(v) for v in fields)
+    return " ".join(str(v).rjust(w) for v, w in zip(fields, column_widths))
+
+
+def _column_widths(workload: Workload) -> list:
+    widths = [1] * 18
+    for job in workload:
+        for idx, value in enumerate(job.to_fields()):
+            widths[idx] = max(widths[idx], len(str(value)))
+    return widths
+
+
+def write_swf_stream(workload: Workload, stream: TextIO, align: bool = False) -> None:
+    """Write a workload to an open text stream."""
+    for entry in workload.header.entries:
+        stream.write(entry.format() + "\n")
+    if len(workload.header) > 0:
+        stream.write(";\n")
+    widths = _column_widths(workload) if align else None
+    for job in workload:
+        stream.write(format_job_line(job, widths) + "\n")
+
+
+def write_swf_text(workload: Workload, align: bool = False) -> str:
+    """Render a workload as SWF text."""
+    import io
+
+    buffer = io.StringIO()
+    write_swf_stream(workload, buffer, align=align)
+    return buffer.getvalue()
+
+
+def write_swf(
+    workload: Workload,
+    path: Union[str, os.PathLike],
+    align: bool = False,
+) -> None:
+    """Write a workload to an SWF file on disk."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        write_swf_stream(workload, handle, align=align)

@@ -1,0 +1,5 @@
+"""Synthetic archive traces standing in for the Parallel Workloads Archive."""
+
+from repro.data.archives import ARCHIVES, ArchiveSpec, archive_names, synthetic_archive
+
+__all__ = ["ARCHIVES", "ArchiveSpec", "archive_names", "synthetic_archive"]

@@ -1,0 +1,16 @@
+"""Scheduler-evaluation drivers: the simulation loop, comparisons, sweeps."""
+
+from repro.evaluation.results import JobResult, SimulationResult
+from repro.evaluation.simulator import MachineSimulation, simulate
+from repro.evaluation.sweep import ComparisonRow, compare_schedulers, format_table, load_sweep
+
+__all__ = [
+    "JobResult",
+    "SimulationResult",
+    "MachineSimulation",
+    "simulate",
+    "ComparisonRow",
+    "compare_schedulers",
+    "format_table",
+    "load_sweep",
+]

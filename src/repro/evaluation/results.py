@@ -1,0 +1,122 @@
+"""Results of a scheduler simulation: per-job records and run-level containers.
+
+Every evaluation driver (the space-sharing simulator, the gang-scheduling
+simulator, the grid simulator) produces a :class:`SimulationResult`, so the
+metrics in :mod:`repro.metrics` and the experiment harnesses can treat them
+uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.swf.records import SWFJob
+
+__all__ = ["JobResult", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job in a simulation.
+
+    Times are absolute simulation seconds.  ``killed`` marks jobs that were
+    terminated by an outage and not successfully re-run; ``restarts`` counts
+    how many times the job was restarted after a node failure.
+    """
+
+    job: SWFJob
+    submit_time: float
+    start_time: float
+    end_time: float
+    processors: int
+    killed: bool = False
+    restarts: int = 0
+    site: Optional[str] = None
+
+    @property
+    def job_id(self) -> int:
+        return self.job.job_number
+
+    @property
+    def wait_time(self) -> float:
+        """Seconds between submittal and the (final) start of execution."""
+        return self.start_time - self.submit_time
+
+    @property
+    def run_time(self) -> float:
+        """Seconds of the final (successful or killed) execution."""
+        return self.end_time - self.start_time
+
+    @property
+    def response_time(self) -> float:
+        """Seconds between submittal and termination."""
+        return self.end_time - self.submit_time
+
+    def slowdown(self) -> float:
+        """Response time over runtime; infinite for zero-runtime jobs."""
+        if self.run_time <= 0:
+            return float("inf")
+        return self.response_time / self.run_time
+
+    def bounded_slowdown(self, tau: float = 10.0) -> float:
+        """max(1, response / max(runtime, tau)) — the standard bounded slowdown."""
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        return max(1.0, self.response_time / max(self.run_time, tau))
+
+    @property
+    def area(self) -> float:
+        """Processor-seconds consumed by the final execution."""
+        return self.processors * self.run_time
+
+
+@dataclass
+class SimulationResult:
+    """All per-job results of one simulation run, plus run-level context."""
+
+    scheduler_name: str
+    machine_size: int
+    jobs: List[JobResult] = field(default_factory=list)
+    #: node-seconds actually available during the run (accounts for outages);
+    #: ``None`` means the machine was fully available throughout.
+    available_node_seconds: Optional[float] = None
+    #: number of job executions aborted by outages (including successful restarts)
+    outage_kills: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    def completed_jobs(self) -> List[JobResult]:
+        """Jobs that terminated normally (not killed)."""
+        return [j for j in self.jobs if not j.killed]
+
+    def killed_jobs(self) -> List[JobResult]:
+        """Jobs that were killed by an outage and never completed."""
+        return [j for j in self.jobs if j.killed]
+
+    @property
+    def makespan(self) -> float:
+        """Seconds from the first submittal to the last completion."""
+        if not self.jobs:
+            return 0.0
+        start = min(j.submit_time for j in self.jobs)
+        end = max(j.end_time for j in self.jobs)
+        return end - start
+
+    @property
+    def span(self) -> float:
+        """Alias of :attr:`makespan` (workload-archive terminology)."""
+        return self.makespan
+
+    def total_area(self) -> float:
+        """Processor-seconds consumed by completed jobs."""
+        return sum(j.area for j in self.completed_jobs())
+
+    def by_job_id(self) -> Dict[int, JobResult]:
+        """Results keyed by SWF job number."""
+        return {j.job_id: j for j in self.jobs}

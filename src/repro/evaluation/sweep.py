@@ -1,0 +1,122 @@
+"""Higher-level evaluation drivers: scheduler comparisons and load sweeps.
+
+These are the loops every experiment and example repeats: run the same
+workload through several policies, or the same policy through the same
+workload re-scaled to several offered loads, and tabulate the metric reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.outage.log import OutageLog
+from repro.core.swf.workload import Workload
+from repro.evaluation.results import SimulationResult
+from repro.evaluation.simulator import simulate
+from repro.metrics.basic import MetricsReport, compute_metrics
+from repro.schedulers.base import Scheduler
+
+__all__ = ["ComparisonRow", "compare_schedulers", "load_sweep", "format_table"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One (scheduler, workload/load) cell of a comparison: result plus metrics."""
+
+    scheduler: str
+    label: str
+    result: SimulationResult
+    report: MetricsReport
+
+
+def compare_schedulers(
+    workload: Workload,
+    schedulers: Sequence[Scheduler],
+    machine_size: Optional[int] = None,
+    outages: Optional[OutageLog] = None,
+    honor_dependencies: bool = False,
+    tau: float = 10.0,
+) -> List[ComparisonRow]:
+    """Run the same workload through each policy and collect metric reports."""
+    rows: List[ComparisonRow] = []
+    for scheduler in schedulers:
+        result = simulate(
+            workload,
+            scheduler,
+            machine_size=machine_size,
+            outages=outages,
+            honor_dependencies=honor_dependencies,
+        )
+        rows.append(
+            ComparisonRow(
+                scheduler=scheduler.name,
+                label=workload.name,
+                result=result,
+                report=compute_metrics(result, tau=tau),
+            )
+        )
+    return rows
+
+
+def load_sweep(
+    workload: Workload,
+    scheduler_factory,
+    loads: Sequence[float],
+    machine_size: Optional[int] = None,
+    tau: float = 10.0,
+) -> List[ComparisonRow]:
+    """Evaluate a policy across offered loads by re-scaling the workload.
+
+    Parameters
+    ----------
+    workload:
+        Base workload; its own offered load is used as the reference point.
+    scheduler_factory:
+        Zero-argument callable producing a fresh policy instance per run
+        (policies may carry per-run state).
+    loads:
+        Target offered loads (e.g. ``[0.5, 0.6, ..., 0.9]``).
+    """
+    base_load = workload.offered_load(machine_size)
+    if base_load <= 0:
+        raise ValueError("the base workload has no measurable offered load")
+    rows: List[ComparisonRow] = []
+    for target in loads:
+        factor = target / base_load
+        scaled = workload.scale_load(factor, name=f"{workload.name}@{target:.2f}")
+        scheduler = scheduler_factory()
+        result = simulate(scaled, scheduler, machine_size=machine_size)
+        rows.append(
+            ComparisonRow(
+                scheduler=scheduler.name,
+                label=f"load={target:.2f}",
+                result=result,
+                report=compute_metrics(result, tau=tau),
+            )
+        )
+    return rows
+
+
+def format_table(rows: Iterable[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of flat dictionaries as an aligned text table.
+
+    Used by the experiment harnesses to print the series each benchmark
+    regenerates; keeping it here avoids every experiment re-implementing the
+    same formatting.
+    """
+    rows = [dict(r) for r in rows]
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for c in columns:
+            widths[c] = max(widths[c], len(str(row.get(c, ""))))
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    separator = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns) for row in rows
+    ]
+    return "\n".join([header, separator] + body)

@@ -1,0 +1,33 @@
+"""Experiment harnesses E1..E10 (see DESIGN.md for the experiment index).
+
+Each module exposes a ``run(...)`` function that executes the experiment at a
+configurable (default: laptop-friendly) scale and returns a structured result
+with a ``rows()`` method producing the table the benchmark prints and
+EXPERIMENTS.md records.
+"""
+
+from repro.experiments import (
+    e01_entities,
+    e02_swf_roundtrip,
+    e03_metric_ranking,
+    e04_objective_weights,
+    e05_feedback,
+    e06_outages,
+    e07_models,
+    e08_moldable,
+    e09_grid,
+    e10_warmstones,
+)
+
+__all__ = [
+    "e01_entities",
+    "e02_swf_roundtrip",
+    "e03_metric_ranking",
+    "e04_objective_weights",
+    "e05_feedback",
+    "e06_outages",
+    "e07_models",
+    "e08_moldable",
+    "e09_grid",
+    "e10_warmstones",
+]

@@ -1,0 +1,94 @@
+"""E2 — SWF conformance: parse → validate → write → re-parse round trip.
+
+Section 2.3 defines the format; the conformance experiment checks, for every
+synthetic archive trace, that
+
+* the generated trace passes the consistency rules (is "clean"),
+* writing and re-parsing reproduces every field of every job exactly,
+* anonymization keeps the id spaces dense (1..N), and
+* the parser and validator agree on the number of jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.swf import (
+    anonymize_workload,
+    parse_swf_text,
+    summarize,
+    validate,
+    write_swf_text,
+)
+from repro.data import archive_names, synthetic_archive
+
+__all__ = ["RoundTripResult", "run"]
+
+
+@dataclass
+class RoundTripResult:
+    """Per-archive conformance outcomes."""
+
+    archives: List[str]
+    jobs: Dict[str, int]
+    clean: Dict[str, bool]
+    round_trip_exact: Dict[str, bool]
+    dense_ids: Dict[str, bool]
+    offered_load: Dict[str, float]
+
+    @property
+    def all_pass(self) -> bool:
+        return all(self.clean.values()) and all(self.round_trip_exact.values()) and all(
+            self.dense_ids.values()
+        )
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "archive": name,
+                "jobs": self.jobs[name],
+                "clean": self.clean[name],
+                "round_trip_exact": self.round_trip_exact[name],
+                "dense_ids": self.dense_ids[name],
+                "offered_load": round(self.offered_load[name], 3),
+            }
+            for name in self.archives
+        ]
+
+
+def run(jobs_per_archive: int = 2500, seed: int = 11) -> RoundTripResult:
+    """Run the conformance checks over every synthetic archive."""
+    names = archive_names()
+    jobs: Dict[str, int] = {}
+    clean: Dict[str, bool] = {}
+    exact: Dict[str, bool] = {}
+    dense: Dict[str, bool] = {}
+    load: Dict[str, float] = {}
+    for name in names:
+        workload = synthetic_archive(name, jobs=jobs_per_archive, seed=seed)
+        jobs[name] = len(workload)
+        clean[name] = validate(workload).is_clean
+        text = write_swf_text(workload)
+        reparsed = parse_swf_text(text, name=workload.name)
+        exact[name] = reparsed.jobs == workload.jobs and len(reparsed.header) == len(
+            workload.header
+        )
+        anonymized = anonymize_workload(workload)
+        users = anonymized.users()
+        groups = anonymized.groups()
+        executables = anonymized.executables()
+        dense[name] = (
+            users == list(range(1, len(users) + 1))
+            and groups == list(range(1, len(groups) + 1))
+            and executables == list(range(1, len(executables) + 1))
+        )
+        load[name] = workload.offered_load()
+    return RoundTripResult(
+        archives=names,
+        jobs=jobs,
+        clean=clean,
+        round_trip_exact=exact,
+        dense_ids=dense,
+        offered_load=load,
+    )

@@ -1,0 +1,108 @@
+"""E3 — Metric-dependent scheduler ranking (Section 1.2, reference [30]).
+
+The paper's motivating observation for standardizing metrics: "one of the
+papers in the workshop showed contradicting results for the comparison of two
+scheduling algorithms if response time or slowdown were used as a metric."
+This experiment compares FCFS, EASY backfilling, and conservative backfilling
+across a load sweep and reports, per load, the mean response time and mean
+bounded slowdown of each policy plus the ranking each metric induces.
+
+Expected shape (from the backfilling literature the paper builds on): both
+backfilling variants dominate FCFS by a growing factor as load rises, while
+the EASY-versus-conservative ordering is metric- and load-dependent — the
+Kendall tau between the response-time and slowdown rankings drops below 1.0
+somewhere in the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.evaluation import compare_schedulers
+from repro.metrics import MetricsReport, kendall_tau, rank_schedulers
+from repro.schedulers import (
+    ConservativeBackfillScheduler,
+    EasyBackfillScheduler,
+    FCFSScheduler,
+)
+from repro.workloads import Lublin99Model
+
+__all__ = ["MetricRankingResult", "run"]
+
+
+@dataclass
+class MetricRankingResult:
+    """Per-load metric reports and the rankings the two metrics induce."""
+
+    loads: List[float]
+    reports: Dict[float, List[MetricsReport]]
+    ranking_by_response: Dict[float, List[str]]
+    ranking_by_slowdown: Dict[float, List[str]]
+    ranking_agreement: Dict[float, float]
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for load in self.loads:
+            for report in self.reports[load]:
+                rows.append(
+                    {
+                        "load": load,
+                        "scheduler": report.scheduler,
+                        "mean_response": round(report.mean_response, 1),
+                        "mean_bounded_slowdown": round(report.mean_bounded_slowdown, 2),
+                        "utilization": round(report.utilization, 3),
+                        "rank_by_response": self.ranking_by_response[load].index(report.scheduler) + 1,
+                        "rank_by_slowdown": self.ranking_by_slowdown[load].index(report.scheduler) + 1,
+                    }
+                )
+        return rows
+
+    def rankings_ever_disagree(self) -> bool:
+        """True if, at any load, the two metrics order the policies differently."""
+        return any(tau < 1.0 for tau in self.ranking_agreement.values())
+
+    def backfilling_speedup_over_fcfs(self, load: float) -> float:
+        """FCFS mean bounded slowdown divided by EASY's at the given load."""
+        reports = {r.scheduler: r for r in self.reports[load]}
+        easy = reports["easy-backfill"].mean_bounded_slowdown
+        fcfs = reports["fcfs"].mean_bounded_slowdown
+        return fcfs / easy if easy > 0 else float("inf")
+
+
+def run(
+    jobs: int = 1500,
+    machine_size: int = 128,
+    loads: Sequence[float] = (0.5, 0.7, 0.9),
+    seed: int = 3,
+    tau: float = 10.0,
+) -> MetricRankingResult:
+    """Sweep offered load and compare the three policies under two metrics."""
+    model = Lublin99Model(machine_size=machine_size)
+    base = model.generate(jobs, seed=seed)
+    base_load = base.offered_load(machine_size)
+
+    reports: Dict[float, List[MetricsReport]] = {}
+    by_response: Dict[float, List[str]] = {}
+    by_slowdown: Dict[float, List[str]] = {}
+    agreement: Dict[float, float] = {}
+    for load in loads:
+        scaled = base.scale_load(load / base_load, name=f"lublin@{load:.2f}")
+        rows = compare_schedulers(
+            scaled,
+            [FCFSScheduler(), EasyBackfillScheduler(), ConservativeBackfillScheduler()],
+            machine_size=machine_size,
+            tau=tau,
+        )
+        load_reports = [row.report for row in rows]
+        reports[load] = load_reports
+        by_response[load] = rank_schedulers(load_reports, metric="mean_response")
+        by_slowdown[load] = rank_schedulers(load_reports, metric="mean_bounded_slowdown")
+        agreement[load] = kendall_tau(by_response[load], by_slowdown[load])
+    return MetricRankingResult(
+        loads=list(loads),
+        reports=reports,
+        ranking_by_response=by_response,
+        ranking_by_slowdown=by_slowdown,
+        ranking_agreement=agreement,
+    )

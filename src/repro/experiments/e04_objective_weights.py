@@ -1,0 +1,100 @@
+"""E4 — Objective-weight sensitivity (reference [41], Krallmann et al.).
+
+The paper notes that objective functions "that only differ in the selection
+of a weight" can rank scheduling algorithms differently.  This experiment
+evaluates a roster of policies once on a fixed workload, then sweeps the
+weights of a composite objective (wait time, bounded slowdown, utilization)
+and reports which policy each weighting prefers.
+
+Expected shape: the winner changes across the weight sweep — utilization-
+heavy weightings prefer the packing-oriented policies, slowdown-heavy
+weightings prefer the ones that favour short jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.evaluation import compare_schedulers
+from repro.metrics import MetricsReport, ObjectiveFunction, rank_schedulers
+from repro.schedulers import (
+    ConservativeBackfillScheduler,
+    EasyBackfillScheduler,
+    FCFSScheduler,
+    FirstFitScheduler,
+    ShortestJobFirstScheduler,
+)
+from repro.workloads import Lublin99Model
+
+__all__ = ["ObjectiveWeightsResult", "run", "DEFAULT_WEIGHTINGS"]
+
+#: (label, weights) pairs swept by default: from purely user-centric to
+#: purely system-centric.
+DEFAULT_WEIGHTINGS: Tuple[Tuple[str, Dict[str, float]], ...] = (
+    ("wait-only", {"mean_wait": 1.0}),
+    ("slowdown-only", {"mean_bounded_slowdown": 1.0}),
+    ("utilization-only", {"utilization": 1.0}),
+    ("balanced", {"mean_wait": 0.4, "mean_bounded_slowdown": 0.4, "utilization": 0.2}),
+    ("system-centric", {"mean_wait": 0.1, "mean_bounded_slowdown": 0.1, "utilization": 0.8}),
+    ("user-centric", {"mean_wait": 0.5, "mean_bounded_slowdown": 0.5}),
+)
+
+
+@dataclass
+class ObjectiveWeightsResult:
+    """Winner and full ranking per objective weighting."""
+
+    reports: List[MetricsReport]
+    rankings: Dict[str, List[str]]
+
+    @property
+    def winners(self) -> Dict[str, str]:
+        return {label: ranking[0] for label, ranking in self.rankings.items()}
+
+    def distinct_winners(self) -> int:
+        return len(set(self.winners.values()))
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for label, ranking in self.rankings.items():
+            rows.append(
+                {
+                    "objective": label,
+                    "winner": ranking[0],
+                    "ranking": " > ".join(ranking),
+                }
+            )
+        return rows
+
+
+def run(
+    jobs: int = 1500,
+    machine_size: int = 128,
+    load: float = 0.8,
+    weightings: Sequence[Tuple[str, Dict[str, float]]] = DEFAULT_WEIGHTINGS,
+    seed: int = 4,
+) -> ObjectiveWeightsResult:
+    """Evaluate the policy roster once, then rank it under each weighting."""
+    workload = Lublin99Model(machine_size=machine_size).generate_with_load(
+        jobs, load, seed=seed
+    )
+    rows = compare_schedulers(
+        workload,
+        [
+            FCFSScheduler(),
+            FirstFitScheduler(),
+            ShortestJobFirstScheduler(),
+            EasyBackfillScheduler(),
+            ConservativeBackfillScheduler(),
+        ],
+        machine_size=machine_size,
+    )
+    reports = [row.report for row in rows]
+    # Normalize every objective to the FCFS baseline so weights are unitless.
+    baseline = next(r for r in reports if r.scheduler == "fcfs")
+    rankings: Dict[str, List[str]] = {}
+    for label, weights in weightings:
+        objective = ObjectiveFunction(weights=weights, name=label).normalized_to(baseline)
+        rankings[label] = rank_schedulers(reports, objective=objective)
+    return ObjectiveWeightsResult(reports=reports, rankings=rankings)

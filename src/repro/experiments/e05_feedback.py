@@ -1,0 +1,108 @@
+"""E5 — Feedback: open replay versus closed (dependency-honouring) replay.
+
+Section 2.2 ("Including feedback"): the instant a job is submitted often
+depends on the termination of the user's previous job, so replaying absolute
+arrival times breaks the feedback loop between system performance and the
+workload.  The SWF's fields 17/18 make the dependencies explicit; this
+experiment replays the same session-structured workload twice —
+
+* **open**: absolute submit times, dependencies ignored, and
+* **closed**: dependent jobs submitted think-time seconds after their
+  predecessor completes —
+
+across a load sweep, under EASY backfilling.
+
+Expected shape: the open replay consistently overstates waits and slowdowns —
+arrivals keep coming regardless of backlog, while the closed replay
+self-throttles (a user cannot submit the next job of a session before the
+previous one finished).  The gap is clearest at and beyond saturation.  This
+is the distortion the paper warns evaluations about when feedback is ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.swf.feedback import sessions_of
+from repro.evaluation import simulate
+from repro.metrics import MetricsReport, compute_metrics
+from repro.schedulers import EasyBackfillScheduler
+from repro.workloads import Lublin99Model, SessionModel
+
+__all__ = ["FeedbackResult", "run"]
+
+
+@dataclass
+class FeedbackResult:
+    """Open vs closed metric reports per offered load."""
+
+    loads: List[float]
+    open_reports: Dict[float, MetricsReport]
+    closed_reports: Dict[float, MetricsReport]
+    sessions: int
+    dependent_fraction: float
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for load in self.loads:
+            open_report = self.open_reports[load]
+            closed_report = self.closed_reports[load]
+            rows.append(
+                {
+                    "load": load,
+                    "open_mean_wait": round(open_report.mean_wait, 1),
+                    "closed_mean_wait": round(closed_report.mean_wait, 1),
+                    "open_mean_bsld": round(open_report.mean_bounded_slowdown, 2),
+                    "closed_mean_bsld": round(closed_report.mean_bounded_slowdown, 2),
+                    "wait_ratio_open_over_closed": round(
+                        open_report.mean_wait / closed_report.mean_wait, 2
+                    )
+                    if closed_report.mean_wait > 0
+                    else float("inf"),
+                }
+            )
+        return rows
+
+    def divergence_at(self, load: float) -> float:
+        """Open mean wait divided by closed mean wait at the given load."""
+        closed = self.closed_reports[load].mean_wait
+        return self.open_reports[load].mean_wait / closed if closed > 0 else float("inf")
+
+
+def run(
+    jobs: int = 1200,
+    machine_size: int = 128,
+    loads: Sequence[float] = (0.6, 0.9, 1.1),
+    seed: int = 5,
+) -> FeedbackResult:
+    """Replay the same session workload open and closed across a load sweep."""
+    model = SessionModel(
+        machine_size=machine_size,
+        job_model=Lublin99Model(machine_size=machine_size),
+        users=40,
+    )
+    base = model.generate(jobs, seed=seed)
+    base_load = base.offered_load(machine_size)
+    sessions = sessions_of(base)
+    dependent = sum(1 for job in base.summary_jobs() if job.has_dependency)
+
+    open_reports: Dict[float, MetricsReport] = {}
+    closed_reports: Dict[float, MetricsReport] = {}
+    for load in loads:
+        scaled = base.scale_load(load / base_load, name=f"sessions@{load:.2f}")
+        open_result = simulate(
+            scaled, EasyBackfillScheduler(), machine_size=machine_size, honor_dependencies=False
+        )
+        closed_result = simulate(
+            scaled, EasyBackfillScheduler(), machine_size=machine_size, honor_dependencies=True
+        )
+        open_reports[load] = compute_metrics(open_result)
+        closed_reports[load] = compute_metrics(closed_result)
+    return FeedbackResult(
+        loads=list(loads),
+        open_reports=open_reports,
+        closed_reports=closed_reports,
+        sessions=len(sessions),
+        dependent_fraction=dependent / len(base) if len(base) else 0.0,
+    )

@@ -1,0 +1,97 @@
+"""E8 — Moldable (flexible) job scheduling with the Downey speedup model.
+
+Section 2.1 ("Flexible job models"): describing a job by its total work and
+speedup function "enables the scheduler to choose the number of processors
+that will be used, according to the current load conditions."  This
+experiment generates one Downey workload and schedules the same job set three
+ways across a load sweep:
+
+* **rigid + FCFS** — the user's request (average parallelism rounded to a
+  power of two) is fixed; FCFS baseline,
+* **rigid + EASY** — same requests under backfilling,
+* **moldable adaptive** — the scheduler chooses each job's allocation from
+  its speedup curve, subject to an efficiency threshold, shrinking jobs when
+  the machine is busy.
+
+Expected shape (Downey's own conclusion): adaptivity matters most at high
+load, where shrinking allocations keeps jobs flowing; at low load rigid
+requests already start immediately and the three policies converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.evaluation import simulate
+from repro.metrics import MetricsReport, compute_metrics
+from repro.schedulers import EasyBackfillScheduler, FCFSScheduler
+from repro.schedulers.moldable import MoldableScheduler
+from repro.workloads import Downey97Model
+
+__all__ = ["MoldableResult", "run"]
+
+
+@dataclass
+class MoldableResult:
+    """Metric reports per (load, policy)."""
+
+    loads: List[float]
+    reports: Dict[float, Dict[str, MetricsReport]]
+    mean_adaptive_allocation: Dict[float, float]
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for load in self.loads:
+            for policy, report in self.reports[load].items():
+                rows.append(
+                    {
+                        "load": load,
+                        "policy": policy,
+                        "mean_response": round(report.mean_response, 1),
+                        "mean_bounded_slowdown": round(report.mean_bounded_slowdown, 2),
+                        "utilization": round(report.utilization, 3),
+                    }
+                )
+        return rows
+
+    def adaptive_gain_over_rigid_easy(self, load: float) -> float:
+        """Rigid-EASY mean response divided by adaptive mean response (>1 = adaptive wins)."""
+        adaptive = self.reports[load]["moldable-adaptive"].mean_response
+        rigid = self.reports[load]["easy-backfill"].mean_response
+        return rigid / adaptive if adaptive > 0 else float("inf")
+
+
+def run(
+    jobs: int = 800,
+    machine_size: int = 128,
+    loads: Sequence[float] = (0.5, 0.8),
+    efficiency_threshold: float = 0.5,
+    seed: int = 8,
+) -> MoldableResult:
+    """Compare rigid FCFS, rigid EASY, and adaptive moldable scheduling."""
+    model = Downey97Model(machine_size=machine_size)
+    base, moldable_jobs = model.generate_moldable(jobs, seed=seed)
+    base_load = base.offered_load(machine_size)
+
+    reports: Dict[float, Dict[str, MetricsReport]] = {}
+    mean_allocation: Dict[float, float] = {}
+    for load in loads:
+        scaled = base.scale_load(load / base_load, name=f"downey@{load:.2f}")
+        per_policy: Dict[str, MetricsReport] = {}
+
+        for scheduler in (FCFSScheduler(), EasyBackfillScheduler()):
+            result = simulate(scaled, scheduler, machine_size=machine_size)
+            per_policy[scheduler.name] = compute_metrics(result)
+
+        adaptive = MoldableScheduler(
+            moldable_jobs, efficiency_threshold=efficiency_threshold
+        )
+        result = simulate(scaled, adaptive, machine_size=machine_size)
+        per_policy[adaptive.name] = compute_metrics(result)
+        sizes = [j.processors for j in result.completed_jobs()]
+        mean_allocation[load] = sum(sizes) / len(sizes) if sizes else 0.0
+        reports[load] = per_policy
+    return MoldableResult(
+        loads=list(loads), reports=reports, mean_adaptive_allocation=mean_allocation
+    )

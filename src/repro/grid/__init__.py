@@ -1,0 +1,43 @@
+"""Metacomputing substrate: sites, meta-schedulers, prediction, co-allocation.
+
+Implements the evaluation methodology of Sections 3 and 4: several machine
+schedulers (sites) below one or more meta-schedulers, queue-wait-time
+prediction as the information channel between the layers, and advance
+reservations as the mechanism for co-allocation.
+"""
+
+from repro.grid.site import MetaComponent, MetaJob, Site
+from repro.grid.workload import generate_meta_jobs
+from repro.grid.prediction import (
+    CategoryMeanPredictor,
+    MeanWaitPredictor,
+    ProfilePredictor,
+    WaitPredictor,
+    prediction_error_summary,
+)
+from repro.grid.metaschedulers import (
+    EarliestStartMetaScheduler,
+    LeastLoadedMetaScheduler,
+    MetaScheduler,
+    SiteView,
+)
+from repro.grid.simulation import GridResult, GridSimulation, MetaJobResult
+
+__all__ = [
+    "MetaComponent",
+    "MetaJob",
+    "Site",
+    "generate_meta_jobs",
+    "CategoryMeanPredictor",
+    "MeanWaitPredictor",
+    "ProfilePredictor",
+    "WaitPredictor",
+    "prediction_error_summary",
+    "EarliestStartMetaScheduler",
+    "LeastLoadedMetaScheduler",
+    "MetaScheduler",
+    "SiteView",
+    "GridResult",
+    "GridSimulation",
+    "MetaJobResult",
+]

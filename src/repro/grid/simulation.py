@@ -1,0 +1,560 @@
+"""Event-driven simulation of a metasystem: sites, meta-scheduler, reservations.
+
+This is the evaluation environment Sections 3 and 4 of the paper call for:
+several sites, each with its own machine scheduler and local workload, plus a
+meta-scheduler that places meta jobs (single-site or co-allocated) using the
+information the sites expose.  The paper's proposed simplifications are
+followed directly:
+
+* local schedulers are evaluated with "a synthetic workload of reservation
+  requests" layered on their local stream;
+* the meta-scheduler is evaluated against "simple models of local schedulers"
+  — here, the sites' actual queues and availability profiles;
+* co-allocation is supported either *without* reservations (components are
+  queued independently and the job starts when the last one does, wasting
+  cycles on the components that started earlier) or *with* advance
+  reservations (the meta-scheduler negotiates a common start time from each
+  site's guaranteed-availability profile, and the sites drain around the
+  reserved window).
+
+The per-site scheduling logic reuses the standard policies from
+:mod:`repro.schedulers`; reservation awareness reuses the same capacity hook
+that outage-aware policies use (a reservation is, to the local scheduler,
+indistinguishable from an announced outage of the reserved processors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.swf.fields import MISSING
+from repro.core.swf.records import SWFJob
+from repro.evaluation.results import JobResult, SimulationResult
+from repro.grid.metaschedulers import MetaScheduler, SiteView
+from repro.grid.prediction import WaitPredictor
+from repro.grid.site import MetaComponent, MetaJob, Site
+from repro.machine.cluster import Machine
+from repro.schedulers.base import JobRequest, RunningJobInfo, SchedulerState
+from repro.simulation.engine import Simulator
+
+__all__ = ["MetaJobResult", "GridResult", "GridSimulation"]
+
+_PRIORITY_COMPLETION = 0
+_PRIORITY_CLAIM = 1
+_PRIORITY_ARRIVAL = 2
+
+#: Offset added to meta-job ids so their synthetic SWF numbers never collide
+#: with local job numbers inside a site's queue.
+_META_ID_BASE = 10_000_000
+
+
+@dataclass(frozen=True)
+class MetaJobResult:
+    """Outcome of one meta job."""
+
+    job: MetaJob
+    sites: Tuple[str, ...]
+    submit_time: float
+    start_time: float
+    end_time: float
+    used_reservation: bool
+    planned_start: Optional[float]
+    wasted_node_seconds: float
+
+    @property
+    def wait_time(self) -> float:
+        return self.start_time - self.submit_time
+
+    @property
+    def response_time(self) -> float:
+        return self.end_time - self.submit_time
+
+    def bounded_slowdown(self, tau: float = 10.0) -> float:
+        runtime = self.end_time - self.start_time
+        return max(1.0, self.response_time / max(runtime, tau))
+
+    @property
+    def reservation_late(self) -> bool:
+        """True if a reserved job could not start at its negotiated time."""
+        return self.planned_start is not None and self.start_time > self.planned_start + 1e-6
+
+
+@dataclass
+class GridResult:
+    """Everything one grid simulation run produced."""
+
+    meta_scheduler: str
+    use_reservations: bool
+    site_results: Dict[str, SimulationResult]
+    meta_results: List[MetaJobResult]
+    rejected_meta_jobs: List[int]
+    #: meta jobs whose components never all started (the co-allocation
+    #: deadlock/starvation risk that motivates advance reservations)
+    unfinished_meta_jobs: List[int]
+    prediction_pairs: Dict[str, List[Tuple[float, float]]]
+
+    def coallocation_results(self) -> List[MetaJobResult]:
+        return [r for r in self.meta_results if r.job.is_coallocation]
+
+    def single_site_results(self) -> List[MetaJobResult]:
+        return [r for r in self.meta_results if not r.job.is_coallocation]
+
+    def mean_meta_wait(self) -> float:
+        if not self.meta_results:
+            return 0.0
+        return sum(r.wait_time for r in self.meta_results) / len(self.meta_results)
+
+    def total_wasted_node_seconds(self) -> float:
+        return sum(r.wasted_node_seconds for r in self.meta_results)
+
+    def late_reservation_fraction(self) -> float:
+        reserved = [r for r in self.meta_results if r.used_reservation]
+        if not reserved:
+            return 0.0
+        return sum(1 for r in reserved if r.reservation_late) / len(reserved)
+
+
+# ----------------------------------------------------------------------
+# internal bookkeeping
+# ----------------------------------------------------------------------
+@dataclass
+class _QueueEntry:
+    request: JobRequest
+    kind: str                      # "local" or "meta"
+    meta_id: Optional[int] = None
+    component: Optional[MetaComponent] = None
+    reservation_backed: bool = False
+
+
+@dataclass
+class _SiteRunning:
+    entry: _QueueEntry
+    start_time: float
+    expected_end: float
+    completion_handle: Optional[object]
+
+
+@dataclass
+class _MetaState:
+    job: MetaJob
+    mapping: Dict[str, MetaComponent]
+    submit_time: float
+    planned_start: Optional[float]
+    use_reservation: bool
+    component_starts: Dict[str, float] = field(default_factory=dict)
+    started: bool = False
+    predictions: Dict[str, float] = field(default_factory=dict)
+    predicted_site: Optional[str] = None
+
+
+class _SiteState:
+    """Mutable per-site simulation state."""
+
+    def __init__(self, site: Site) -> None:
+        self.site = site
+        self.machine = Machine(size=site.machine_size, name=site.name)
+        self.queue: List[_QueueEntry] = []
+        self.running: Dict[int, _SiteRunning] = {}
+        #: (start, end, processors, meta_id) reservation calendar
+        self.reservations: List[List[float]] = []
+        self.local_results: List[JobResult] = []
+        self.local_submit: Dict[int, float] = {}
+
+    def free(self) -> int:
+        return self.machine.free_count()
+
+    def reserved_capacity_fn(self, size: int) -> Callable[[float, float], int]:
+        reservations = list(self.reservations)
+
+        def min_capacity(start: float, end: float) -> int:
+            if not reservations:
+                return size
+            boundaries = {start}
+            for r_start, r_end, _procs, _mid in reservations:
+                if r_start < end and start < r_end:
+                    boundaries.add(max(start, r_start))
+            minimum = size
+            for t in boundaries:
+                reserved = sum(
+                    procs
+                    for r_start, r_end, procs, _mid in reservations
+                    if r_start <= t < r_end
+                )
+                minimum = min(minimum, max(0, size - reserved))
+            return minimum
+
+        return min_capacity
+
+    def scheduler_state(self, now: float) -> SchedulerState:
+        running_infos = [
+            RunningJobInfo(
+                request=r.entry.request,
+                start_time=r.start_time,
+                expected_end=max(r.expected_end, now),
+            )
+            for r in self.running.values()
+        ]
+        return SchedulerState(
+            now=now,
+            total_processors=self.site.machine_size,
+            free_processors=self.free(),
+            queue=[e.request for e in self.queue],
+            running=running_infos,
+            min_capacity=self.reserved_capacity_fn(self.site.machine_size),
+        )
+
+    def view(self, now: float) -> SiteView:
+        state = self.scheduler_state(now)
+        return SiteView(
+            name=self.site.name,
+            total_processors=self.site.machine_size,
+            free_processors=state.free_processors,
+            speed=self.site.speed,
+            now=now,
+            queued=state.queue,
+            running=state.running,
+            reservations=[(s, e, p) for s, e, p, _ in self.reservations],
+        )
+
+
+class GridSimulation:
+    """Simulate local + meta workloads over several sites."""
+
+    def __init__(
+        self,
+        sites: Sequence[Site],
+        meta_jobs: Sequence[MetaJob],
+        meta_scheduler: MetaScheduler,
+        use_reservations: bool = False,
+        negotiation_slack: float = 60.0,
+        predictors: Optional[Dict[str, Callable[[], WaitPredictor]]] = None,
+    ) -> None:
+        if not sites:
+            raise ValueError("at least one site is required")
+        names = [s.name for s in sites]
+        if len(set(names)) != len(names):
+            raise ValueError("site names must be unique")
+        self.sites = {s.name: _SiteState(s) for s in sites}
+        self.meta_jobs = sorted(meta_jobs, key=lambda j: (j.submit_time, j.job_id))
+        self.meta_scheduler = meta_scheduler
+        self.use_reservations = use_reservations
+        self.negotiation_slack = negotiation_slack
+        self.sim = Simulator()
+        self._meta_states: Dict[int, _MetaState] = {}
+        self._meta_results: List[MetaJobResult] = []
+        self._rejected: List[int] = []
+        #: predictor-name -> site-name -> instance; scored on single-site meta jobs
+        predictor_factories = predictors or {}
+        self._predictors: Dict[str, Dict[str, WaitPredictor]] = {
+            pname: {sname: factory() for sname in self.sites}
+            for pname, factory in predictor_factories.items()
+        }
+        self._prediction_pairs: Dict[str, List[Tuple[float, float]]] = {
+            pname: [] for pname in self._predictors
+        }
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def _seed_events(self) -> None:
+        for state in self.sites.values():
+            workload = state.site.local_workload
+            if workload is None:
+                continue
+            for job in workload.summary_jobs():
+                try:
+                    request = JobRequest.from_swf(job)
+                except ValueError:
+                    continue
+                if request.processors > state.site.machine_size:
+                    continue
+                self.sim.schedule_at(
+                    request.submit_time,
+                    self._on_local_arrival,
+                    state.site.name,
+                    request,
+                    priority=_PRIORITY_ARRIVAL,
+                    label=f"local:{state.site.name}:{request.job_id}",
+                )
+        for job in self.meta_jobs:
+            self.sim.schedule_at(
+                job.submit_time,
+                self._on_meta_arrival,
+                job,
+                priority=_PRIORITY_ARRIVAL,
+                label=f"meta:{job.job_id}",
+            )
+
+    # ------------------------------------------------------------------
+    # local jobs
+    # ------------------------------------------------------------------
+    def _on_local_arrival(self, site_name: str, request: JobRequest) -> None:
+        state = self.sites[site_name]
+        state.queue.append(_QueueEntry(request=request, kind="local"))
+        state.local_submit[request.job_id] = self.sim.now
+        self._schedule_pass(site_name)
+
+    def _on_local_completion(self, site_name: str, job_id: int) -> None:
+        state = self.sites[site_name]
+        running = state.running.pop(job_id, None)
+        if running is None:
+            return
+        state.machine.release(job_id)
+        state.local_results.append(
+            JobResult(
+                job=running.entry.request.job,
+                submit_time=state.local_submit[running.entry.request.job_id],
+                start_time=running.start_time,
+                end_time=self.sim.now,
+                processors=running.entry.request.processors,
+                site=site_name,
+            )
+        )
+        self._schedule_pass(site_name)
+
+    # ------------------------------------------------------------------
+    # meta jobs
+    # ------------------------------------------------------------------
+    def _meta_request(self, job: MetaJob, component: MetaComponent, site: Site) -> JobRequest:
+        """Synthesize the JobRequest a site sees for one meta component."""
+        runtime = max(1, int(round(job.runtime / site.speed)))
+        swf = SWFJob(
+            job_number=_META_ID_BASE + job.job_id,
+            submit_time=job.submit_time,
+            run_time=runtime,
+            allocated_processors=component.processors,
+            requested_processors=component.processors,
+            requested_time=max(job.estimate, runtime),
+        )
+        return JobRequest(
+            job=swf,
+            processors=component.processors,
+            runtime=runtime,
+            estimate=max(job.estimate, runtime),
+            submit_time=int(self.sim.now),
+        )
+
+    def _on_meta_arrival(self, job: MetaJob) -> None:
+        views = [state.view(self.sim.now) for state in self.sites.values()]
+        try:
+            if job.is_coallocation:
+                mapping, planned_start = self.meta_scheduler.plan_coallocation(
+                    job, views, self.use_reservations, self.negotiation_slack
+                )
+            else:
+                site_name = self.meta_scheduler.choose_site(job, views)
+                mapping, planned_start = {site_name: job.components[0]}, None
+        except ValueError:
+            self._rejected.append(job.job_id)
+            return
+
+        meta_state = _MetaState(
+            job=job,
+            mapping=mapping,
+            submit_time=self.sim.now,
+            planned_start=planned_start,
+            use_reservation=self.use_reservations and job.is_coallocation,
+        )
+        self._meta_states[job.job_id] = meta_state
+
+        # Score the wait predictors on single-site meta jobs.
+        if not job.is_coallocation and self._predictors:
+            site_name = next(iter(mapping))
+            view = next(v for v in views if v.name == site_name)
+            component = job.components[0]
+            meta_state.predicted_site = site_name
+            for pname, per_site in self._predictors.items():
+                predictor = per_site[site_name]
+                meta_state.predictions[pname] = predictor.predict_wait(
+                    component.processors,
+                    job.estimate,
+                    view.now,
+                    view.total_processors,
+                    view.free_processors,
+                    view.running,
+                    view.queued,
+                )
+
+        if meta_state.use_reservation and planned_start is not None:
+            for site_name, component in mapping.items():
+                state = self.sites[site_name]
+                state.reservations.append(
+                    [planned_start, planned_start + job.estimate, component.processors, job.job_id]
+                )
+                self._schedule_pass(site_name)
+            self.sim.schedule_at(
+                planned_start,
+                self._on_reservation_claim,
+                job.job_id,
+                priority=_PRIORITY_CLAIM,
+                label=f"claim:{job.job_id}",
+            )
+        else:
+            for site_name, component in mapping.items():
+                state = self.sites[site_name]
+                request = self._meta_request(job, component, state.site)
+                state.queue.append(
+                    _QueueEntry(
+                        request=request, kind="meta", meta_id=job.job_id, component=component
+                    )
+                )
+                self._schedule_pass(site_name)
+
+    def _on_reservation_claim(self, meta_id: int) -> None:
+        """At the negotiated start time, convert reservations into queued components."""
+        meta_state = self._meta_states[meta_id]
+        for site_name, component in meta_state.mapping.items():
+            state = self.sites[site_name]
+            state.reservations = [r for r in state.reservations if r[3] != meta_id]
+            request = self._meta_request(meta_state.job, component, state.site)
+            entry = _QueueEntry(
+                request=request,
+                kind="meta",
+                meta_id=meta_id,
+                component=component,
+                reservation_backed=True,
+            )
+            # Reservation-backed components go to the head of the queue: the
+            # site already drained capacity for them.
+            state.queue.insert(0, entry)
+            self._schedule_pass(site_name)
+
+    def _component_started(self, site_name: str, meta_id: int) -> None:
+        meta_state = self._meta_states[meta_id]
+        meta_state.component_starts[site_name] = self.sim.now
+        if len(meta_state.component_starts) < len(meta_state.mapping):
+            return
+        # All components are running: the meta job begins useful work now.
+        meta_state.started = True
+        start = max(meta_state.component_starts.values())
+        slowest_speed = min(self.sites[s].site.speed for s in meta_state.mapping)
+        runtime = max(1, int(round(meta_state.job.runtime / slowest_speed)))
+        self.sim.schedule(
+            runtime,
+            self._on_meta_completion,
+            meta_id,
+            priority=_PRIORITY_COMPLETION,
+            label=f"meta-completion:{meta_id}",
+        )
+
+    def _on_meta_completion(self, meta_id: int) -> None:
+        meta_state = self._meta_states[meta_id]
+        start = max(meta_state.component_starts.values())
+        wasted = 0.0
+        touched_sites = []
+        for site_name, component in meta_state.mapping.items():
+            state = self.sites[site_name]
+            job_key = _META_ID_BASE + meta_id
+            running = state.running.pop(job_key, None)
+            if running is not None:
+                state.machine.release(job_key)
+            component_start = meta_state.component_starts[site_name]
+            wasted += component.processors * max(0.0, start - component_start)
+            touched_sites.append(site_name)
+
+        self._meta_results.append(
+            MetaJobResult(
+                job=meta_state.job,
+                sites=tuple(sorted(meta_state.mapping)),
+                submit_time=meta_state.submit_time,
+                start_time=start,
+                end_time=self.sim.now,
+                used_reservation=meta_state.use_reservation,
+                planned_start=meta_state.planned_start,
+                wasted_node_seconds=wasted,
+            )
+        )
+
+        # Feed the observed wait back to the predictors being scored.
+        if not meta_state.job.is_coallocation and meta_state.predictions:
+            actual_wait = start - meta_state.submit_time
+            site_name = meta_state.predicted_site
+            component = meta_state.job.components[0]
+            for pname, predicted in meta_state.predictions.items():
+                self._prediction_pairs[pname].append((predicted, actual_wait))
+                self._predictors[pname][site_name].observe(
+                    component.processors, meta_state.job.estimate, actual_wait
+                )
+
+        for site_name in touched_sites:
+            self._schedule_pass(site_name)
+
+    # ------------------------------------------------------------------
+    # per-site scheduling
+    # ------------------------------------------------------------------
+    def _schedule_pass(self, site_name: str) -> None:
+        state = self.sites[site_name]
+        if not state.queue:
+            return
+        scheduler_state = state.scheduler_state(self.sim.now)
+        selected = state.site.scheduler.select_jobs(scheduler_state)
+        if not selected:
+            return
+        entries_by_id = {e.request.job_id: e for e in state.queue}
+        total = 0
+        for request in selected:
+            if request.job_id not in entries_by_id:
+                raise RuntimeError(
+                    f"site {site_name}: scheduler selected job {request.job_id} not in queue"
+                )
+            total += request.processors
+        if total > scheduler_state.free_processors:
+            raise RuntimeError(f"site {site_name}: scheduler over-committed the machine")
+        started_ids = set()
+        for request in selected:
+            entry = entries_by_id[request.job_id]
+            self._start_entry(state, entry, request)
+            started_ids.add(request.job_id)
+        state.queue = [e for e in state.queue if e.request.job_id not in started_ids]
+
+    def _start_entry(self, state: _SiteState, entry: _QueueEntry, request: JobRequest) -> None:
+        state.machine.allocate(request.job_id, request.processors, start_time=self.sim.now)
+        if entry.kind == "local":
+            handle = self.sim.schedule(
+                request.runtime,
+                self._on_local_completion,
+                state.site.name,
+                request.job_id,
+                priority=_PRIORITY_COMPLETION,
+                label=f"local-completion:{state.site.name}:{request.job_id}",
+            )
+        else:
+            handle = None  # meta completions are driven by _component_started
+        state.running[request.job_id] = _SiteRunning(
+            entry=entry,
+            start_time=self.sim.now,
+            expected_end=self.sim.now + request.estimate,
+            completion_handle=handle,
+        )
+        if entry.kind == "meta":
+            self._component_started(state.site.name, entry.meta_id)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self) -> GridResult:
+        """Run the grid simulation to completion."""
+        self._seed_events()
+        self.sim.run()
+        site_results = {}
+        for name, state in self.sites.items():
+            site_results[name] = SimulationResult(
+                scheduler_name=f"{state.site.scheduler.name}@{name}",
+                machine_size=state.site.machine_size,
+                jobs=sorted(state.local_results, key=lambda j: j.job_id),
+                metadata={"site": name},
+            )
+        finished = {r.job.job_id for r in self._meta_results}
+        unfinished = [
+            meta_id for meta_id in self._meta_states if meta_id not in finished
+        ]
+        return GridResult(
+            meta_scheduler=self.meta_scheduler.name,
+            use_reservations=self.use_reservations,
+            site_results=site_results,
+            meta_results=sorted(self._meta_results, key=lambda r: r.job.job_id),
+            rejected_meta_jobs=sorted(self._rejected),
+            unfinished_meta_jobs=sorted(unfinished),
+            prediction_pairs=self._prediction_pairs,
+        )

@@ -1,0 +1,95 @@
+"""Sites and jobs of the metacomputing model (Figure 1 of the paper).
+
+A *site* is one machine scheduler's domain: a space-shared machine of a given
+size, its scheduling policy, and its locally-submitted workload.  A
+*meta job* is a job submitted to the meta-scheduler rather than to any single
+site; it is either a single-component job (the meta-scheduler picks the site)
+or a co-allocation job (several components that must run simultaneously on
+different sites — "similar to the idea of gang scheduling on parallel
+machines", as the paper puts it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.swf.workload import Workload
+from repro.schedulers.base import Scheduler
+
+__all__ = ["Site", "MetaJob", "MetaComponent"]
+
+
+@dataclass
+class Site:
+    """One machine scheduler's domain inside the metasystem."""
+
+    name: str
+    machine_size: int
+    scheduler: Scheduler
+    local_workload: Optional[Workload] = None
+    #: relative processor speed (1.0 = reference); affects meta-job runtimes
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.machine_size < 1:
+            raise ValueError("machine_size must be >= 1")
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+
+
+@dataclass(frozen=True)
+class MetaComponent:
+    """One piece of a co-allocation request: processors needed on one site."""
+
+    processors: int
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("a component needs at least one processor")
+
+
+@dataclass(frozen=True)
+class MetaJob:
+    """A job submitted to the meta-scheduler.
+
+    Attributes
+    ----------
+    job_id:
+        Unique id within the meta workload.
+    submit_time:
+        Seconds (same time base as the sites' local workloads).
+    runtime:
+        Execution time on reference-speed processors once all components run.
+    estimate:
+        The runtime estimate given to site schedulers.
+    components:
+        One entry per required site; a single entry means the meta-scheduler
+        is free to pick any one site, several entries mean simultaneous
+        (co-allocated) execution on distinct sites.
+    """
+
+    job_id: int
+    submit_time: int
+    runtime: int
+    estimate: int
+    components: Tuple[MetaComponent, ...]
+
+    def __post_init__(self) -> None:
+        if self.job_id < 1:
+            raise ValueError("job_id must be >= 1")
+        if self.submit_time < 0 or self.runtime < 0:
+            raise ValueError("times must be non-negative")
+        if not self.components:
+            raise ValueError("a meta job needs at least one component")
+        if self.estimate < self.runtime:
+            object.__setattr__(self, "estimate", self.runtime)
+
+    @property
+    def is_coallocation(self) -> bool:
+        """True when the job needs more than one site simultaneously."""
+        return len(self.components) > 1
+
+    @property
+    def total_processors(self) -> int:
+        return sum(c.processors for c in self.components)

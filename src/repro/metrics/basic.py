@@ -1,0 +1,147 @@
+"""The standard performance metrics of the scheduler-evaluation methodology.
+
+Section 1.2 ("Possible inclusion of the objective function") lists the
+metrics in common use: response time, wait time, slowdown, utilization,
+throughput — some to be minimized, others maximized — and warns that
+different metrics can rank schedulers differently.  This module computes all
+of them from a :class:`~repro.evaluation.results.SimulationResult` so the
+experiments can demonstrate exactly that sensitivity.
+
+Utilization accounts for outages: when the simulation reports the node-seconds
+that were actually available, utilization is work done divided by *available*
+capacity, not by nominal capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.evaluation.results import JobResult, SimulationResult
+
+__all__ = ["MetricsReport", "compute_metrics", "confidence_interval"]
+
+#: Default interactivity threshold (seconds) for bounded slowdown.
+DEFAULT_TAU = 10.0
+
+
+@dataclass(frozen=True)
+class MetricsReport:
+    """Aggregate metrics of one simulation run.
+
+    All means are over completed jobs (killed jobs are counted separately):
+    including jobs that never finished would make response-time metrics
+    meaningless, which is itself one of the methodological points of the
+    outage experiment.
+    """
+
+    scheduler: str
+    jobs: int
+    killed: int
+    mean_wait: float
+    median_wait: float
+    mean_response: float
+    median_response: float
+    mean_slowdown: float
+    mean_bounded_slowdown: float
+    median_bounded_slowdown: float
+    p90_bounded_slowdown: float
+    utilization: float
+    throughput_per_hour: float
+    makespan: float
+    total_area: float
+    tau: float = DEFAULT_TAU
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary used when printing experiment tables."""
+        return {
+            "scheduler": self.scheduler,
+            "jobs": self.jobs,
+            "killed": self.killed,
+            "mean_wait": round(self.mean_wait, 1),
+            "mean_response": round(self.mean_response, 1),
+            "mean_slowdown": round(self.mean_slowdown, 2),
+            "mean_bounded_slowdown": round(self.mean_bounded_slowdown, 2),
+            "p90_bounded_slowdown": round(self.p90_bounded_slowdown, 2),
+            "utilization": round(self.utilization, 4),
+            "throughput_per_hour": round(self.throughput_per_hour, 2),
+            "makespan": round(self.makespan, 0),
+        }
+
+    def value(self, metric: str) -> float:
+        """Look up a metric by name (the names used by objective functions)."""
+        try:
+            return float(getattr(self, metric))
+        except AttributeError as exc:
+            raise KeyError(f"unknown metric {metric!r}") from exc
+
+
+def compute_metrics(result: SimulationResult, tau: float = DEFAULT_TAU) -> MetricsReport:
+    """Compute the full :class:`MetricsReport` for a simulation result."""
+    completed = result.completed_jobs()
+    killed = result.killed_jobs()
+
+    waits = np.asarray([j.wait_time for j in completed], dtype=float)
+    responses = np.asarray([j.response_time for j in completed], dtype=float)
+    slowdowns = np.asarray(
+        [j.slowdown() for j in completed if math.isfinite(j.slowdown())], dtype=float
+    )
+    bounded = np.asarray([j.bounded_slowdown(tau) for j in completed], dtype=float)
+
+    makespan = result.makespan
+    total_area = result.total_area()
+    if result.available_node_seconds is not None and result.available_node_seconds > 0:
+        capacity = result.available_node_seconds
+    else:
+        capacity = result.machine_size * makespan if makespan > 0 else 0.0
+    utilization = (total_area / capacity) if capacity > 0 else 0.0
+    throughput = (len(completed) / (makespan / 3600.0)) if makespan > 0 else 0.0
+
+    def _mean(a: np.ndarray) -> float:
+        return float(np.mean(a)) if a.size else 0.0
+
+    def _median(a: np.ndarray) -> float:
+        return float(np.median(a)) if a.size else 0.0
+
+    def _p90(a: np.ndarray) -> float:
+        return float(np.percentile(a, 90)) if a.size else 0.0
+
+    return MetricsReport(
+        scheduler=result.scheduler_name,
+        jobs=len(completed),
+        killed=len(killed),
+        mean_wait=_mean(waits),
+        median_wait=_median(waits),
+        mean_response=_mean(responses),
+        median_response=_median(responses),
+        mean_slowdown=_mean(slowdowns),
+        mean_bounded_slowdown=_mean(bounded),
+        median_bounded_slowdown=_median(bounded),
+        p90_bounded_slowdown=_p90(bounded),
+        utilization=min(utilization, 1.0),
+        throughput_per_hour=throughput,
+        makespan=makespan,
+        total_area=total_area,
+        tau=tau,
+    )
+
+
+def confidence_interval(values: Sequence[float], confidence: float = 0.95) -> tuple:
+    """Normal-approximation confidence interval for the mean of ``values``.
+
+    Returns ``(mean, half_width)``.  With fewer than two samples the half
+    width is zero.  The normal approximation (z = 1.96 at 95%) is adequate
+    for the hundreds-to-thousands of jobs a workload contains.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return 0.0, 0.0
+    mean = float(np.mean(data))
+    if data.size < 2:
+        return mean, 0.0
+    z = {0.90: 1.645, 0.95: 1.96, 0.99: 2.576}.get(round(confidence, 2), 1.96)
+    half = z * float(np.std(data, ddof=1)) / math.sqrt(data.size)
+    return mean, half

@@ -1,0 +1,166 @@
+"""Composite objective functions and scheduler-ranking comparison.
+
+The paper discusses (and its reference [41], Krallmann, Schwiegelshohn &
+Yahyapour, demonstrates) that a site's true objective is usually a *weighted
+combination* of elementary metrics, and that changing the weights changes
+which scheduling algorithm looks best.  Experiment E4 reproduces that effect;
+this module supplies the machinery:
+
+* :class:`ObjectiveFunction` — a weighted sum of named metrics, each tagged
+  with the direction of optimization (lower-is-better metrics contribute
+  positively to a cost that is minimized),
+* :func:`rank_schedulers` — order metric reports by a metric or objective,
+* :func:`kendall_tau` — rank correlation between two orderings, the standard
+  way to quantify "the ranking changed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.metrics.basic import MetricsReport
+
+__all__ = [
+    "MINIMIZE_METRICS",
+    "MAXIMIZE_METRICS",
+    "ObjectiveFunction",
+    "rank_schedulers",
+    "kendall_tau",
+    "ranking_agreement",
+]
+
+#: Metrics whose value a scheduler should minimize.
+MINIMIZE_METRICS = frozenset(
+    {
+        "mean_wait",
+        "median_wait",
+        "mean_response",
+        "median_response",
+        "mean_slowdown",
+        "mean_bounded_slowdown",
+        "median_bounded_slowdown",
+        "p90_bounded_slowdown",
+        "makespan",
+        "killed",
+    }
+)
+
+#: Metrics whose value a scheduler should maximize.
+MAXIMIZE_METRICS = frozenset({"utilization", "throughput_per_hour", "jobs"})
+
+
+@dataclass(frozen=True)
+class ObjectiveFunction:
+    """A weighted combination of metrics, evaluated as a cost (lower is better).
+
+    Each metric contributes ``weight * value / scale`` to the cost; metrics in
+    :data:`MAXIMIZE_METRICS` contribute negatively (so maximizing them lowers
+    the cost).  Scales normalize metrics with different units before they are
+    combined — the usual practice is to scale by the value achieved by a
+    reference scheduler (see :meth:`normalized_to`).
+    """
+
+    weights: Mapping[str, float]
+    scales: Mapping[str, float] = field(default_factory=dict)
+    name: str = "objective"
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("an objective function needs at least one weighted metric")
+        for metric in self.weights:
+            if metric not in MINIMIZE_METRICS and metric not in MAXIMIZE_METRICS:
+                raise ValueError(f"unknown metric {metric!r} in objective function")
+
+    def evaluate(self, report: MetricsReport) -> float:
+        """Cost of a metrics report under this objective (lower is better)."""
+        cost = 0.0
+        for metric, weight in self.weights.items():
+            value = report.value(metric)
+            scale = float(self.scales.get(metric, 1.0)) or 1.0
+            contribution = weight * value / scale
+            if metric in MAXIMIZE_METRICS:
+                contribution = -contribution
+            cost += contribution
+        return cost
+
+    def normalized_to(self, reference: MetricsReport, name: Optional[str] = None) -> "ObjectiveFunction":
+        """Return a copy whose scales are the reference report's metric values.
+
+        After normalization every metric contributes in units of "times the
+        reference scheduler's value", which makes weights comparable across
+        metrics with wildly different magnitudes.
+        """
+        scales = {}
+        for metric in self.weights:
+            value = abs(reference.value(metric))
+            scales[metric] = value if value > 0 else 1.0
+        return ObjectiveFunction(
+            weights=dict(self.weights),
+            scales=scales,
+            name=name if name is not None else f"{self.name}-normalized",
+        )
+
+
+def rank_schedulers(
+    reports: Sequence[MetricsReport],
+    metric: Optional[str] = None,
+    objective: Optional[ObjectiveFunction] = None,
+) -> List[str]:
+    """Order scheduler names from best to worst by a metric or an objective.
+
+    Exactly one of ``metric`` / ``objective`` must be given.  Metrics in
+    :data:`MAXIMIZE_METRICS` rank descending, everything else ascending.
+    """
+    if (metric is None) == (objective is None):
+        raise ValueError("pass exactly one of metric or objective")
+    if metric is not None:
+        reverse = metric in MAXIMIZE_METRICS
+        ordered = sorted(reports, key=lambda r: r.value(metric), reverse=reverse)
+    else:
+        ordered = sorted(reports, key=objective.evaluate)
+    return [r.scheduler for r in ordered]
+
+
+def kendall_tau(ranking_a: Sequence[str], ranking_b: Sequence[str]) -> float:
+    """Kendall rank correlation between two orderings of the same items.
+
+    1.0 means identical order, -1.0 fully reversed, 0.0 uncorrelated.  Raises
+    if the two rankings do not contain exactly the same items.
+    """
+    if set(ranking_a) != set(ranking_b):
+        raise ValueError("both rankings must contain exactly the same items")
+    n = len(ranking_a)
+    if n < 2:
+        return 1.0
+    position_b = {item: i for i, item in enumerate(ranking_b)}
+    concordant = 0
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            a_i, a_j = ranking_a[i], ranking_a[j]
+            if position_b[a_i] < position_b[a_j]:
+                concordant += 1
+            else:
+                discordant += 1
+    total = concordant + discordant
+    return (concordant - discordant) / total if total else 1.0
+
+
+def ranking_agreement(
+    reports: Sequence[MetricsReport], metrics: Sequence[str]
+) -> Dict[Tuple[str, str], float]:
+    """Pairwise Kendall tau between the rankings induced by different metrics.
+
+    This is the quantity experiment E3 reports: when it is below 1.0 for a
+    pair of metrics, the choice of metric changes the scheduler ranking —
+    the paper's motivating observation.
+    """
+    rankings = {metric: rank_schedulers(reports, metric=metric) for metric in metrics}
+    agreement: Dict[Tuple[str, str], float] = {}
+    for i, metric_a in enumerate(metrics):
+        for metric_b in metrics[i + 1 :]:
+            agreement[(metric_a, metric_b)] = kendall_tau(
+                rankings[metric_a], rankings[metric_b]
+            )
+    return agreement

@@ -1,0 +1,60 @@
+"""Machine-scheduling policies for space-shared parallel machines.
+
+* FCFS and first-fit baselines,
+* priority re-ordering policies (SJF, LJF, narrowest/widest first, WFP),
+* EASY and conservative backfilling,
+* gang scheduling (time slicing, fluid Ousterhout-matrix model).
+
+All space-sharing policies implement the
+:class:`~repro.schedulers.base.Scheduler` interface consumed by
+:func:`repro.evaluation.simulate`; gang scheduling ships its own simulator
+because it time-slices rather than space-shares.
+"""
+
+from repro.schedulers.base import (
+    AvailabilityProfile,
+    JobRequest,
+    RunningJobInfo,
+    Scheduler,
+    SchedulerState,
+)
+from repro.schedulers.fcfs import FCFSScheduler, FirstFitScheduler
+from repro.schedulers.priority import (
+    LongestJobFirstScheduler,
+    NarrowestFirstScheduler,
+    PriorityScheduler,
+    ShortestJobFirstScheduler,
+    SmallestAreaFirstScheduler,
+    WFPScheduler,
+    WidestFirstScheduler,
+)
+from repro.schedulers.backfill import ConservativeBackfillScheduler, EasyBackfillScheduler
+from repro.schedulers.gang import GangSimulation, simulate_gang
+
+__all__ = [
+    "AvailabilityProfile",
+    "JobRequest",
+    "RunningJobInfo",
+    "Scheduler",
+    "SchedulerState",
+    "FCFSScheduler",
+    "FirstFitScheduler",
+    "PriorityScheduler",
+    "ShortestJobFirstScheduler",
+    "LongestJobFirstScheduler",
+    "NarrowestFirstScheduler",
+    "WidestFirstScheduler",
+    "SmallestAreaFirstScheduler",
+    "WFPScheduler",
+    "EasyBackfillScheduler",
+    "ConservativeBackfillScheduler",
+    "GangSimulation",
+    "simulate_gang",
+]
+
+#: The standard roster of policies the experiments compare.
+DEFAULT_POLICIES = (
+    FCFSScheduler,
+    EasyBackfillScheduler,
+    ConservativeBackfillScheduler,
+)

@@ -1,0 +1,302 @@
+"""Scheduler interface and the data structures shared by all policies.
+
+The evaluation driver (:mod:`repro.evaluation.simulator`) is event-driven: at
+every job arrival, job completion, or outage event it builds a
+:class:`SchedulerState` snapshot and asks the policy which queued jobs to
+start *now*.  Policies never see actual runtimes — only the user estimate
+(field 9 of the SWF, falling back to the actual runtime when no estimate is
+recorded), exactly the information a production scheduler has.
+
+The :class:`AvailabilityProfile` helper maintains the piecewise-constant
+"free processors over future time" function that backfilling and advance
+reservations reason about.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.swf.fields import MISSING
+from repro.core.swf.records import SWFJob
+
+__all__ = [
+    "JobRequest",
+    "RunningJobInfo",
+    "SchedulerState",
+    "Scheduler",
+    "AvailabilityProfile",
+]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """What the scheduler knows about a job (plus the hidden actual runtime).
+
+    Attributes
+    ----------
+    job:
+        The underlying SWF record.
+    processors:
+        Processors the job needs (requested count, falling back to allocated).
+    runtime:
+        The *actual* runtime; used by the simulator to schedule the completion
+        event, never exposed to policies through :class:`SchedulerState`.
+    estimate:
+        The user's runtime estimate (requested time); what policies may use.
+    submit_time:
+        Arrival time in the simulation (seconds).
+    """
+
+    job: SWFJob
+    processors: int
+    runtime: int
+    estimate: int
+    submit_time: int
+
+    @property
+    def job_id(self) -> int:
+        return self.job.job_number
+
+    @classmethod
+    def from_swf(cls, job: SWFJob) -> "JobRequest":
+        """Build a request from an SWF record, applying the standard fallbacks."""
+        processors = job.processors
+        if processors == MISSING or processors < 1:
+            raise ValueError(f"job {job.job_number} has no usable processor count")
+        runtime = job.run_time if job.run_time != MISSING else 0
+        estimate = job.requested_time if job.requested_time != MISSING else runtime
+        if estimate < runtime:
+            # Production schedulers kill jobs that exceed their request; the
+            # archive logs keep the recorded runtime, so treat the estimate as
+            # a lower bound rather than modelling the kill here.
+            estimate = runtime
+        submit = job.submit_time if job.submit_time != MISSING else 0
+        return cls(
+            job=job,
+            processors=int(processors),
+            runtime=int(runtime),
+            estimate=int(max(estimate, 0)),
+            submit_time=int(submit),
+        )
+
+
+@dataclass(frozen=True)
+class RunningJobInfo:
+    """A job currently executing, as visible to the scheduler."""
+
+    request: JobRequest
+    start_time: float
+    expected_end: float
+
+    @property
+    def processors(self) -> int:
+        return self.request.processors
+
+
+@dataclass
+class SchedulerState:
+    """Snapshot handed to a policy at each scheduling point."""
+
+    now: float
+    total_processors: int
+    free_processors: int
+    queue: List[JobRequest]
+    running: List[RunningJobInfo]
+    #: min available capacity over a future window, considering *announced*
+    #: outages only; defaults to the constant total capacity.
+    min_capacity: Callable[[float, float], int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.min_capacity is None:
+            total = self.total_processors
+            self.min_capacity = lambda start, end: total
+
+    def expected_completions(self) -> List[Tuple[float, int]]:
+        """(expected end, processors) for running jobs, sorted by end time."""
+        return sorted((r.expected_end, r.processors) for r in self.running)
+
+
+class Scheduler(ABC):
+    """Base class for machine-scheduling policies.
+
+    Subclasses implement :meth:`select_jobs`, returning the queued jobs to
+    start immediately.  The returned jobs must collectively fit in the free
+    processors reported by the state; the driver enforces this and raises if
+    a policy misbehaves, so policy bugs surface in tests rather than as
+    silently wrong results.
+    """
+
+    #: human-readable policy name (used in experiment tables)
+    name: str = "scheduler"
+    #: if True, the policy consults announced outages via ``state.min_capacity``
+    outage_aware: bool = False
+
+    @abstractmethod
+    def select_jobs(self, state: SchedulerState) -> List[JobRequest]:
+        """Return the queued jobs to start at ``state.now``."""
+
+    # ------------------------------------------------------------------
+    # helpers shared by concrete policies
+    # ------------------------------------------------------------------
+    def job_fits_now(self, state: SchedulerState, request: JobRequest, free: int) -> bool:
+        """Whether ``request`` can start now given ``free`` processors.
+
+        Outage-aware policies additionally require that the announced
+        capacity stays sufficient for the whole estimated duration, i.e. the
+        machine is drained ahead of known maintenance windows.
+        """
+        if request.processors > free:
+            return False
+        if self.outage_aware:
+            horizon_capacity = state.min_capacity(state.now, state.now + request.estimate)
+            used_by_others = state.total_processors - free
+            if request.processors > horizon_capacity - used_by_others:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class AvailabilityProfile:
+    """Piecewise-constant future free-processor profile.
+
+    Built from the currently-running jobs' expected end times (and, for
+    advance reservations, from reserved windows), then queried/updated as
+    candidate jobs are placed.  This is the core data structure of
+    conservative backfilling: every queued job gets the earliest anchor point
+    at which it fits, and placing it updates the profile so later jobs cannot
+    push it back.
+    """
+
+    def __init__(self, total_processors: int, now: float) -> None:
+        if total_processors < 1:
+            raise ValueError("total_processors must be >= 1")
+        self.total = total_processors
+        self.now = float(now)
+        # breakpoints: sorted list of (time, free_processors_from_this_time_on)
+        self._times: List[float] = [float(now)]
+        self._free: List[int] = [total_processors]
+
+    @classmethod
+    def from_running(
+        cls,
+        total_processors: int,
+        now: float,
+        running: Sequence[RunningJobInfo],
+        capacity_fn: Optional[Callable[[float, float], int]] = None,
+        horizon: float = float("inf"),
+    ) -> "AvailabilityProfile":
+        """Profile implied by the running jobs' expected completion times."""
+        profile = cls(total_processors, now)
+        for info in running:
+            end = max(info.expected_end, now)
+            profile.remove(now, end, info.processors)
+        return profile
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+    def _ensure_breakpoint(self, time: float) -> int:
+        """Ensure a breakpoint exists at ``time``; return its index."""
+        time = max(float(time), self.now)
+        lo, hi = 0, len(self._times)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._times[mid] < time:
+                lo = mid + 1
+            else:
+                hi = mid
+        index = lo
+        if index < len(self._times) and self._times[index] == time:
+            return index
+        previous_free = self._free[index - 1] if index > 0 else self.total
+        self._times.insert(index, time)
+        self._free.insert(index, previous_free)
+        return index
+
+    def _index_at(self, time: float) -> int:
+        """Index of the segment covering ``time``."""
+        index = 0
+        for i, t in enumerate(self._times):
+            if t <= time:
+                index = i
+            else:
+                break
+        return index
+
+    # ------------------------------------------------------------------
+    # queries and updates
+    # ------------------------------------------------------------------
+    def free_at(self, time: float) -> int:
+        """Free processors at ``time``."""
+        return self._free[self._index_at(max(time, self.now))]
+
+    def min_free(self, start: float, end: float) -> int:
+        """Minimum free processors over [start, end)."""
+        start = max(start, self.now)
+        if end <= start:
+            return self.free_at(start)
+        minimum = self.free_at(start)
+        for t, f in zip(self._times, self._free):
+            if start < t < end:
+                minimum = min(minimum, f)
+        return minimum
+
+    def remove(self, start: float, end: float, processors: int) -> None:
+        """Subtract ``processors`` from the profile over [start, end)."""
+        if processors < 0:
+            raise ValueError("processors must be non-negative")
+        if end <= start or processors == 0:
+            return
+        start = max(start, self.now)
+        i0 = self._ensure_breakpoint(start)
+        i1 = self._ensure_breakpoint(end)
+        for i in range(i0, i1):
+            self._free[i] -= processors
+
+    def add_capacity_limit(self, capacity_fn: Callable[[float, float], int], horizon: float) -> None:
+        """Clamp the profile to an external capacity function over [now, horizon).
+
+        Used by outage-aware conservative backfilling: the free curve can
+        never exceed the announced available capacity.
+        """
+        # Sample the capacity function at existing breakpoints; callers pass
+        # an AvailabilityTimeline-backed function which is piecewise constant
+        # on outage boundaries, so also sample those via min over segments.
+        for i, t in enumerate(self._times):
+            if t >= horizon:
+                break
+            next_t = self._times[i + 1] if i + 1 < len(self._times) else horizon
+            cap = capacity_fn(t, min(next_t, horizon))
+            busy = self.total - self._free[i]
+            self._free[i] = min(self._free[i], max(0, cap - busy))
+
+    def earliest_start(self, processors: int, duration: float, not_before: float = None) -> float:
+        """Earliest time >= ``not_before`` at which ``processors`` are free for ``duration``.
+
+        Scans profile breakpoints; because every segment ends at a breakpoint
+        and the profile eventually returns to fully-free, a feasible anchor
+        always exists for requests that fit the machine.
+        """
+        if processors > self.total:
+            raise ValueError(
+                f"a request for {processors} processors can never fit a "
+                f"{self.total}-processor machine"
+            )
+        not_before = self.now if not_before is None else max(not_before, self.now)
+        candidates = [t for t in self._times if t >= not_before]
+        if not_before not in candidates:
+            candidates.insert(0, not_before)
+        for anchor in candidates:
+            if self.min_free(anchor, anchor + duration) >= processors:
+                return anchor
+        # After the last breakpoint the machine is fully free.
+        return max(self._times[-1], not_before)
+
+    def segments(self) -> List[Tuple[float, int]]:
+        """(time, free) breakpoints, for inspection and tests."""
+        return list(zip(self._times, self._free))

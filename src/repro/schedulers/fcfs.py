@@ -1,0 +1,56 @@
+"""First-come-first-served scheduling (with an optional first-fit relaxation).
+
+``FCFSScheduler`` is the strict baseline every evaluation in the literature
+includes: jobs start in arrival order, and the head of the queue blocks all
+later jobs until enough processors free up.  ``FirstFitScheduler`` relaxes
+the blocking: any queued job that fits may start, still scanning in arrival
+order — this is "FCFS with first-fit backfilling without reservations",
+which improves utilization but can starve large jobs (the reason EASY adds a
+reservation for the head job).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.schedulers.base import JobRequest, Scheduler, SchedulerState
+
+__all__ = ["FCFSScheduler", "FirstFitScheduler"]
+
+
+class FCFSScheduler(Scheduler):
+    """Strict first-come-first-served: the queue head blocks everything behind it."""
+
+    name = "fcfs"
+
+    def __init__(self, outage_aware: bool = False) -> None:
+        self.outage_aware = outage_aware
+
+    def select_jobs(self, state: SchedulerState) -> List[JobRequest]:
+        started: List[JobRequest] = []
+        free = state.free_processors
+        for request in state.queue:
+            if self.job_fits_now(state, request, free):
+                started.append(request)
+                free -= request.processors
+            else:
+                break  # strict FCFS: do not look past the blocked head
+        return started
+
+
+class FirstFitScheduler(Scheduler):
+    """Start any queued job that fits, scanning in arrival order (no reservations)."""
+
+    name = "first-fit"
+
+    def __init__(self, outage_aware: bool = False) -> None:
+        self.outage_aware = outage_aware
+
+    def select_jobs(self, state: SchedulerState) -> List[JobRequest]:
+        started: List[JobRequest] = []
+        free = state.free_processors
+        for request in state.queue:
+            if self.job_fits_now(state, request, free):
+                started.append(request)
+                free -= request.processors
+        return started

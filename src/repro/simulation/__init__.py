@@ -1,0 +1,45 @@
+"""Discrete-event simulation kernel and statistical distributions.
+
+This package provides the substrate every simulator in :mod:`repro` is built
+on:
+
+* :class:`~repro.simulation.engine.Simulator` — a deterministic
+  discrete-event engine (priority queue of timestamped events with stable
+  tie-breaking).
+* :mod:`~repro.simulation.distributions` — the random distributions the
+  published workload models require (log-uniform, hyper-exponential,
+  hyper-Erlang, two-stage hyper-gamma, Zipf, Weibull), all driven by
+  :class:`numpy.random.Generator` for reproducibility.
+
+The paper's evaluation methodology assumes an event-driven scheduler
+simulator; ``simpy`` is not available in this environment, so the kernel is
+implemented from scratch (see DESIGN.md, substitution table).
+"""
+
+from repro.simulation.engine import Event, EventHandle, Simulator
+from repro.simulation.distributions import (
+    DiscreteSampler,
+    HyperExponential,
+    HyperErlang,
+    HyperGamma,
+    LogUniform,
+    TruncatedNormal,
+    Weibull,
+    Zipf,
+    make_rng,
+)
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "Simulator",
+    "DiscreteSampler",
+    "HyperExponential",
+    "HyperErlang",
+    "HyperGamma",
+    "LogUniform",
+    "TruncatedNormal",
+    "Weibull",
+    "Zipf",
+    "make_rng",
+]

@@ -1,0 +1,64 @@
+"""Workload models: rigid, flexible (speedup-based), and session-structured.
+
+Rigid models (Section 2.1, "Workload models"):
+
+* :class:`Feitelson96Model` — power-of-two sizes, size-correlated runtimes,
+* :class:`Jann97Model` — per-size-class hyper-Erlang fits,
+* :class:`Lublin99Model` — the model the paper calls most representative,
+* :class:`Downey97Model` — log-uniform work and parallelism with speedup
+  curves (also provides moldable-job descriptions),
+* :class:`UniformModel` — the naive "guesswork" baseline.
+
+Flexible-job support lives in :mod:`repro.workloads.speedup`
+(:class:`DowneySpeedup`, :class:`AmdahlSpeedup`, :class:`MoldableJob`), and
+closed user-session generation in :class:`SessionModel`.
+"""
+
+from repro.workloads.base import (
+    DailyCycleArrivals,
+    PoissonArrivals,
+    UserPopulation,
+    WorkloadModel,
+    assemble_workload,
+    round_to_power_of_two,
+)
+from repro.workloads.feitelson96 import Feitelson96Model
+from repro.workloads.jann97 import Jann97Model, SizeClass
+from repro.workloads.lublin99 import Lublin99Model
+from repro.workloads.downey97 import Downey97Model
+from repro.workloads.uniform import UniformModel
+from repro.workloads.sessions import SessionModel
+from repro.workloads.speedup import AmdahlSpeedup, DowneySpeedup, MoldableJob, SpeedupModel
+from repro.workloads.internal import (
+    InternalStructure,
+    InternalStructureModel,
+    apply_structure,
+    synchronization_stretch,
+)
+
+__all__ = [
+    "DailyCycleArrivals",
+    "PoissonArrivals",
+    "UserPopulation",
+    "WorkloadModel",
+    "assemble_workload",
+    "round_to_power_of_two",
+    "Feitelson96Model",
+    "Jann97Model",
+    "SizeClass",
+    "Lublin99Model",
+    "Downey97Model",
+    "UniformModel",
+    "SessionModel",
+    "AmdahlSpeedup",
+    "DowneySpeedup",
+    "MoldableJob",
+    "SpeedupModel",
+    "InternalStructure",
+    "InternalStructureModel",
+    "apply_structure",
+    "synchronization_stretch",
+]
+
+#: The rigid models experiment E7 compares.
+RIGID_MODELS = (Feitelson96Model, Jann97Model, Lublin99Model, Downey97Model, UniformModel)

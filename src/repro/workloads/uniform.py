@@ -1,0 +1,68 @@
+"""A naive baseline workload model (the "guesswork" the paper warns about).
+
+Before real data was available, evaluations used simple guesses: uniformly
+distributed job sizes, exponential runtimes and interarrival times, no
+correlations, no daily cycle, no power-of-two emphasis.  This model exists as
+the contrast case for experiment E7 — its summary statistics differ markedly
+from both the archive-like traces and the measurement-based models, which is
+exactly the paper's argument for standardizing on representative workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.swf.workload import Workload
+from repro.simulation.distributions import make_rng
+from repro.workloads.base import PoissonArrivals, UserPopulation, WorkloadModel, assemble_workload
+
+__all__ = ["UniformModel"]
+
+
+class UniformModel(WorkloadModel):
+    """Uniform sizes, exponential runtimes, Poisson arrivals, no structure."""
+
+    name = "uniform-naive"
+
+    def __init__(
+        self,
+        machine_size: int = 128,
+        mean_interarrival: float = 2600.0,
+        mean_runtime: float = 3600.0,
+        max_size_fraction: float = 1.0,
+        users: int = 60,
+    ) -> None:
+        super().__init__(machine_size)
+        if mean_runtime <= 0:
+            raise ValueError("mean_runtime must be positive")
+        if not 0 < max_size_fraction <= 1.0:
+            raise ValueError("max_size_fraction must be in (0, 1]")
+        self.mean_interarrival = mean_interarrival
+        self.mean_runtime = mean_runtime
+        self.max_size = max(1, int(machine_size * max_size_fraction))
+        self.population = UserPopulation(users=users)
+
+    def generate(self, jobs: int, seed: Optional[int] = None) -> Workload:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        rng = make_rng(seed)
+        arrivals = PoissonArrivals(self.mean_interarrival).generate(rng, jobs)
+        sizes = rng.integers(1, self.max_size + 1, size=jobs)
+        runtimes = np.maximum(1.0, rng.exponential(self.mean_runtime, size=jobs))
+        users, groups, executables = self.population.assign(rng, jobs)
+        estimates = runtimes * rng.uniform(1.5, 8.0, size=jobs)
+        return assemble_workload(
+            name=self.name,
+            computer="hypothetical machine (naive uniform model)",
+            machine_size=self.machine_size,
+            arrivals=arrivals,
+            sizes=sizes,
+            runtimes=runtimes,
+            estimates=estimates,
+            users=users,
+            groups=groups,
+            executables=executables,
+            notes=["Naive baseline model: uniform sizes, exponential runtimes, Poisson arrivals."],
+        )

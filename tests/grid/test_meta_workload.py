@@ -1,0 +1,53 @@
+"""Tests for the synthetic meta-job workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid import generate_meta_jobs
+
+
+class TestGenerateMetaJobs:
+    def test_count_and_ordering(self):
+        jobs = generate_meta_jobs(100, seed=1)
+        assert len(jobs) == 100
+        submits = [j.submit_time for j in jobs]
+        assert submits == sorted(submits)
+        assert submits[0] == 0
+
+    def test_coallocation_fraction_respected(self):
+        jobs = generate_meta_jobs(400, coallocation_fraction=0.5, seed=2)
+        coallocated = sum(1 for j in jobs if j.is_coallocation)
+        assert 0.35 < coallocated / len(jobs) < 0.65
+
+    def test_no_coallocation_when_fraction_zero(self):
+        jobs = generate_meta_jobs(100, coallocation_fraction=0.0, seed=3)
+        assert all(not j.is_coallocation for j in jobs)
+
+    def test_component_sizes_are_bounded_powers_of_two(self):
+        jobs = generate_meta_jobs(200, max_component_processors=32, seed=4)
+        for job in jobs:
+            for component in job.components:
+                assert 1 <= component.processors <= 32
+                assert component.processors & (component.processors - 1) == 0
+
+    def test_component_count_bounded(self):
+        jobs = generate_meta_jobs(200, coallocation_fraction=1.0, max_components=3, seed=5)
+        assert all(2 <= len(j.components) <= 3 for j in jobs)
+
+    def test_runtimes_within_bounds_and_estimates_cover_them(self):
+        jobs = generate_meta_jobs(200, min_runtime=100, max_runtime=1000, seed=6)
+        for job in jobs:
+            assert 100 <= job.runtime <= 1000
+            assert job.estimate >= job.runtime
+
+    def test_reproducible(self):
+        assert generate_meta_jobs(50, seed=7) == generate_meta_jobs(50, seed=7)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            generate_meta_jobs(0)
+        with pytest.raises(ValueError):
+            generate_meta_jobs(10, coallocation_fraction=1.5)
+        with pytest.raises(ValueError):
+            generate_meta_jobs(10, max_components=1)

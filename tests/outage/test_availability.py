@@ -1,0 +1,94 @@
+"""Unit tests for the availability timeline derived from an outage log."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.outage import AvailabilityTimeline, OutageLog, OutageRecord, OutageType
+
+
+def record(start, end, nodes):
+    return OutageRecord(
+        announced_time=start,
+        start_time=start,
+        end_time=end,
+        outage_type=OutageType.CPU_FAILURE,
+        nodes_affected=nodes,
+    )
+
+
+class TestCapacity:
+    def test_full_capacity_without_outages(self):
+        timeline = AvailabilityTimeline(64)
+        assert timeline.capacity_at(0) == 64
+        assert timeline.capacity_at(10**9) == 64
+        assert timeline.next_change_after(0) is None
+
+    def test_capacity_drops_during_outage(self):
+        timeline = AvailabilityTimeline(64, OutageLog([record(100, 200, 16)]))
+        assert timeline.capacity_at(50) == 64
+        assert timeline.capacity_at(100) == 48
+        assert timeline.capacity_at(199) == 48
+        assert timeline.capacity_at(200) == 64
+
+    def test_overlapping_outages_stack(self):
+        log = OutageLog([record(100, 300, 16), record(200, 400, 16)])
+        timeline = AvailabilityTimeline(64, log)
+        assert timeline.capacity_at(250) == 32
+        assert timeline.capacity_at(350) == 48
+
+    def test_capacity_never_negative(self):
+        log = OutageLog([record(0, 100, 60), record(0, 100, 60)])
+        timeline = AvailabilityTimeline(64, log)
+        assert timeline.capacity_at(50) == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            AvailabilityTimeline(64).capacity_at(-1)
+
+    def test_invalid_machine_size_rejected(self):
+        with pytest.raises(ValueError):
+            AvailabilityTimeline(0)
+
+
+class TestQueries:
+    def test_next_change_after(self):
+        timeline = AvailabilityTimeline(64, OutageLog([record(100, 200, 8)]))
+        assert timeline.next_change_after(0) == 100
+        assert timeline.next_change_after(100) == 200
+        assert timeline.next_change_after(200) is None
+
+    def test_minimum_capacity_over_window(self):
+        timeline = AvailabilityTimeline(64, OutageLog([record(100, 200, 16)]))
+        assert timeline.minimum_capacity(0, 50) == 64
+        assert timeline.minimum_capacity(0, 150) == 48
+        assert timeline.minimum_capacity(150, 300) == 48
+
+    def test_available_node_seconds(self):
+        timeline = AvailabilityTimeline(10, OutageLog([record(100, 200, 4)]))
+        # 100 s at 10 nodes + 100 s at 6 nodes + 100 s at 10 nodes
+        assert timeline.available_node_seconds(0, 300) == 1000 + 600 + 1000
+
+    def test_available_node_seconds_empty_window(self):
+        assert AvailabilityTimeline(10).available_node_seconds(100, 100) == 0
+
+    def test_breakpoints_listing(self):
+        timeline = AvailabilityTimeline(8, OutageLog([record(10, 20, 2)]))
+        assert timeline.breakpoints() == [(0, 8), (10, 6), (20, 8)]
+
+    @given(
+        nodes=st.integers(min_value=1, max_value=32),
+        start=st.integers(min_value=0, max_value=1000),
+        duration=st.integers(min_value=1, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_downtime_conservation(self, nodes, start, duration):
+        """Node-seconds lost equal the integral deficit of the timeline."""
+        machine = 32
+        log = OutageLog([record(start, start + duration, nodes)])
+        timeline = AvailabilityTimeline(machine, log)
+        horizon = start + duration + 10
+        available = timeline.available_node_seconds(0, horizon)
+        assert available == machine * horizon - min(nodes, machine) * duration

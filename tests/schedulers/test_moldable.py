@@ -1,0 +1,89 @@
+"""Unit tests for the moldable (adaptive-allocation) scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import simulate
+from repro.schedulers import EasyBackfillScheduler
+from repro.schedulers.moldable import MoldableScheduler
+from repro.workloads import Downey97Model
+from repro.workloads.speedup import DowneySpeedup, MoldableJob
+from tests.schedulers.util import make_request, make_state
+
+
+def moldable(job_id: int, work: float = 1000.0, A: float = 16.0, sigma: float = 0.5, maximum: int = 64):
+    return MoldableJob(
+        job_id=job_id,
+        sequential_work=work,
+        speedup_model=DowneySpeedup(A=A, sigma=sigma),
+        max_processors=maximum,
+    )
+
+
+class TestSelection:
+    def test_resizes_request_to_free_processors(self):
+        request = make_request(1, processors=32, runtime=1000, estimate=1000)
+        state = make_state(64, queue=[request], running=[(make_request(9, 56), 0.0, 500.0)])
+        scheduler = MoldableScheduler({1: moldable(1)})
+        started = scheduler.select_jobs(state)
+        assert len(started) == 1
+        assert started[0].processors <= 8  # only 8 free
+        assert started[0].runtime > 0
+
+    def test_blocks_when_nothing_is_free(self):
+        request = make_request(1, processors=8)
+        state = make_state(16, queue=[request], running=[(make_request(9, 16), 0.0, 100.0)])
+        scheduler = MoldableScheduler({1: moldable(1)})
+        assert scheduler.select_jobs(state) == []
+
+    def test_efficiency_threshold_limits_allocation(self):
+        # With sigma high the speedup flattens quickly; a strict threshold
+        # should keep the allocation small even when the machine is empty.
+        flat = moldable(1, A=4.0, sigma=2.0, maximum=64)
+        request = make_request(1, processors=64, runtime=1000, estimate=1000)
+        state = make_state(64, queue=[request])
+        strict = MoldableScheduler({1: flat}, efficiency_threshold=0.9)
+        relaxed = MoldableScheduler({1: flat}, efficiency_threshold=0.1)
+        assert strict.select_jobs(state)[0].processors <= relaxed.select_jobs(state)[0].processors
+
+    def test_larger_allocation_never_increases_runtime(self):
+        job = moldable(1, A=32.0, sigma=0.3)
+        runtimes = [job.runtime_on(n) for n in (1, 2, 4, 8, 16, 32)]
+        assert runtimes == sorted(runtimes, reverse=True)
+
+    def test_jobs_without_description_treated_as_rigid(self):
+        request = make_request(5, processors=8, runtime=100)
+        state = make_state(16, queue=[request])
+        scheduler = MoldableScheduler({})
+        started = scheduler.select_jobs(state)
+        assert started[0].processors == 8
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MoldableScheduler({}, efficiency_threshold=0.0)
+        with pytest.raises(ValueError):
+            MoldableScheduler({}, estimate_factor=0.5)
+
+
+class TestEndToEnd:
+    def test_adaptive_scheduling_completes_all_jobs(self):
+        model = Downey97Model(machine_size=64)
+        workload, descriptions = model.generate_moldable(150, seed=3)
+        scheduler = MoldableScheduler(descriptions)
+        result = simulate(workload, scheduler, machine_size=64)
+        assert len(result.jobs) == len(workload.summary_jobs())
+
+    def test_adaptive_helps_under_heavy_load(self):
+        from repro.metrics import compute_metrics
+
+        model = Downey97Model(machine_size=64)
+        workload, descriptions = model.generate_moldable(200, seed=4)
+        heavy = workload.scale_load(1.3 / workload.offered_load(64))
+        rigid = compute_metrics(simulate(heavy, EasyBackfillScheduler(), machine_size=64))
+        adaptive = compute_metrics(
+            simulate(heavy, MoldableScheduler(descriptions), machine_size=64)
+        )
+        # Shrinking allocations under saturation should not make response worse
+        # by more than a small factor, and typically improves it.
+        assert adaptive.mean_response <= rigid.mean_response * 1.5

@@ -1,0 +1,74 @@
+"""Unit tests for identity anonymization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.swf import IdentityMapper, MISSING, anonymize_workload
+from tests.conftest import make_job, make_workload
+
+
+class TestIdentityMapper:
+    def test_incremental_numbering_by_first_appearance(self):
+        mapper = IdentityMapper()
+        assert mapper.map("alice") == 1
+        assert mapper.map("bob") == 2
+        assert mapper.map("alice") == 1
+        assert len(mapper) == 2
+
+    def test_missing_inputs_map_to_missing(self):
+        mapper = IdentityMapper()
+        assert mapper.map(None) == MISSING
+        assert mapper.map("") == MISSING
+        assert mapper.map(MISSING) == MISSING
+        assert len(mapper) == 0
+
+    def test_inverse_mapping(self):
+        mapper = IdentityMapper()
+        mapper.map("x")
+        mapper.map("y")
+        assert mapper.inverse() == {1: "x", 2: "y"}
+
+    def test_custom_start(self):
+        mapper = IdentityMapper(start=5)
+        assert mapper.map("a") == 5
+
+    def test_invalid_start_rejected(self):
+        with pytest.raises(ValueError):
+            IdentityMapper(start=0)
+
+    def test_mapping_copy_is_isolated(self):
+        mapper = IdentityMapper()
+        mapper.map("a")
+        snapshot = mapper.mapping
+        snapshot["b"] = 99
+        assert "b" not in mapper.mapping
+
+
+class TestAnonymizeWorkload:
+    def test_ids_become_dense_by_first_appearance(self):
+        jobs = [
+            make_job(1, submit=0, user_id=500, group_id=77, executable_id=12),
+            make_job(2, submit=1, user_id=300, group_id=77, executable_id=90),
+            make_job(3, submit=2, user_id=500, group_id=88, executable_id=12),
+        ]
+        anonymized = anonymize_workload(make_workload(jobs))
+        assert [j.user_id for j in anonymized] == [1, 2, 1]
+        assert [j.group_id for j in anonymized] == [1, 1, 2]
+        assert [j.executable_id for j in anonymized] == [1, 2, 1]
+
+    def test_missing_identities_stay_missing(self):
+        jobs = [make_job(1, user_id=MISSING, group_id=MISSING, executable_id=MISSING)]
+        anonymized = anonymize_workload(make_workload(jobs))
+        assert anonymized[0].user_id == MISSING
+
+    def test_other_fields_untouched(self, tiny_workload):
+        anonymized = anonymize_workload(tiny_workload)
+        for before, after in zip(tiny_workload, anonymized):
+            assert before.run_time == after.run_time
+            assert before.allocated_processors == after.allocated_processors
+            assert before.submit_time == after.submit_time
+
+    def test_header_preserved(self, tiny_workload):
+        anonymized = anonymize_workload(tiny_workload)
+        assert anonymized.header == tiny_workload.header

@@ -1,0 +1,117 @@
+"""Unit tests for the raw-accounting-log converters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.swf import (
+    ConversionError,
+    MISSING,
+    convert_accounting_csv,
+    convert_ipsc_log,
+    validate,
+)
+
+CSV_LOG = """\
+job_id,user,group,queue,submit_ts,start_ts,end_ts,processors,requested_processors,requested_seconds,mem_kb,requested_mem_kb,cpu_seconds,exit_status,executable,partition
+A-17,alice,physics,batch,1000,1100,1400,16,16,600,2048,4096,280,0,solver,main
+B-03,bob,chem,interactive,1010,1010,1040,1,1,60,128,256,25,0,shell,main
+A-18,alice,physics,batch,1200,1500,2600,32,32,1800,4096,4096,1000,137,solver,main
+"""
+
+IPSC_LOG = """\
+# user exe nodes submit runtime class
+alice fft 32 0 120 batch
+bob qcd 64 300 3600 batch
+alice fft 1 500 15 interactive
+"""
+
+
+class TestAccountingCsv:
+    def test_basic_conversion(self):
+        workload = convert_accounting_csv(CSV_LOG, computer="Test SP2", max_nodes=64)
+        assert len(workload) == 3
+        assert validate(workload).is_clean
+        # Sorted by submit and zero-origin.
+        assert workload[0].submit_time == 0
+        assert [j.job_number for j in workload] == [1, 2, 3]
+
+    def test_times_derived_from_timestamps(self):
+        workload = convert_accounting_csv(CSV_LOG)
+        first = workload[0]  # alice's A-17 submitted at 1000
+        assert first.wait_time == 100
+        assert first.run_time == 300
+
+    def test_exit_status_mapping(self):
+        workload = convert_accounting_csv(CSV_LOG)
+        statuses = [j.status for j in workload]
+        assert statuses.count(1) == 2  # exit 0 -> completed
+        assert statuses.count(0) == 1  # exit 137 -> killed
+
+    def test_identities_are_anonymized_incrementally(self):
+        workload = convert_accounting_csv(CSV_LOG)
+        assert sorted(set(j.user_id for j in workload)) == [1, 2]
+        assert sorted(set(j.group_id for j in workload)) == [1, 2]
+
+    def test_interactive_queue_maps_to_zero(self):
+        workload = convert_accounting_csv(CSV_LOG)
+        interactive = [j for j in workload if j.is_interactive]
+        assert len(interactive) == 1
+        assert interactive[0].allocated_processors == 1
+
+    def test_header_describes_machine(self):
+        workload = convert_accounting_csv(CSV_LOG, computer="Test SP2", installation="Unit Test")
+        assert workload.header.computer == "Test SP2"
+        assert workload.header.max_nodes == 32  # max observed when not given
+
+    def test_missing_required_column_rejected(self):
+        with pytest.raises(ConversionError):
+            convert_accounting_csv("job_id,user\n1,alice\n")
+
+    def test_inconsistent_timestamps_rejected(self):
+        bad = CSV_LOG.replace("1000,1100,1400", "1000,900,1400")
+        with pytest.raises(ConversionError):
+            convert_accounting_csv(bad)
+
+    def test_empty_csv_rejected(self):
+        with pytest.raises(ConversionError):
+            convert_accounting_csv("")
+
+    def test_missing_optional_values_become_missing(self):
+        text = (
+            "job_id,user,group,queue,submit_ts,start_ts,end_ts,processors\n"
+            "1,alice,,batch,100,150,250,8\n"
+        )
+        workload = convert_accounting_csv(text)
+        assert workload[0].used_memory == MISSING
+        assert workload[0].group_id == MISSING
+
+
+class TestIpscLog:
+    def test_basic_conversion(self):
+        workload = convert_ipsc_log(IPSC_LOG)
+        assert len(workload) == 3
+        assert validate(workload).is_clean
+        assert workload.header.max_nodes == 128
+
+    def test_power_of_two_enforced(self):
+        bad = IPSC_LOG.replace(" 32 ", " 33 ")
+        with pytest.raises(ConversionError):
+            convert_ipsc_log(bad)
+
+    def test_interactive_class_detected(self):
+        workload = convert_ipsc_log(IPSC_LOG)
+        assert sum(1 for j in workload if j.is_interactive) == 1
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(ConversionError):
+            convert_ipsc_log("alice fft 32 0 120\n")
+
+    def test_comment_lines_skipped(self):
+        workload = convert_ipsc_log("; comment\n" + IPSC_LOG)
+        assert len(workload) == 3
+
+    def test_repeated_executable_gets_same_id(self):
+        workload = convert_ipsc_log(IPSC_LOG)
+        fft_jobs = [j for j in workload if j.executable_id == 1]
+        assert len(fft_jobs) == 2

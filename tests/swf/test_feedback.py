@@ -1,0 +1,88 @@
+"""Unit tests for feedback annotation and session extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.swf import MISSING, annotate_feedback, sessions_of, strip_feedback, validate
+from tests.conftest import make_job, make_workload
+
+
+def user_sequence():
+    """User 1 submits three dependent jobs; user 2 submits one unrelated job."""
+    return [
+        make_job(1, submit=0, wait=0, runtime=100, user_id=1),
+        # Submitted 50 s after job 1 finished (100): within the threshold.
+        make_job(2, submit=150, wait=0, runtime=100, user_id=1),
+        # Submitted 10 h after job 2 finished: a new session.
+        make_job(3, submit=250 + 36000, wait=0, runtime=100, user_id=1),
+        make_job(4, submit=300, wait=0, runtime=50, user_id=2),
+    ]
+
+
+class TestAnnotateFeedback:
+    def test_dependencies_inserted_within_threshold(self):
+        workload = make_workload(sorted(user_sequence(), key=lambda j: j.submit_time))
+        workload = workload.renumbered()
+        annotated, stats = annotate_feedback(workload, max_think_time=1200)
+        by_user1 = [j for j in annotated if j.user_id == 1]
+        dependent = [j for j in by_user1 if j.has_dependency]
+        assert len(dependent) == 1
+        assert stats.annotated_jobs == 1
+        assert dependent[0].think_time == 50
+
+    def test_session_count(self):
+        workload = make_workload(sorted(user_sequence(), key=lambda j: j.submit_time)).renumbered()
+        _, stats = annotate_feedback(workload, max_think_time=1200)
+        # user 1: two sessions (jobs 1-2, job 3); user 2: one session.
+        assert stats.sessions == 3
+
+    def test_annotated_workload_remains_valid(self, lublin_workload):
+        annotated, _ = annotate_feedback(lublin_workload)
+        assert validate(annotated).is_clean
+
+    def test_jobs_submitted_before_predecessor_ends_not_linked(self):
+        jobs = [
+            make_job(1, submit=0, wait=0, runtime=1000, user_id=1),
+            make_job(2, submit=10, wait=0, runtime=10, user_id=1),  # overlaps job 1
+        ]
+        annotated, stats = annotate_feedback(make_workload(jobs))
+        assert stats.annotated_jobs == 0
+        assert not annotated[1].has_dependency
+
+    def test_negative_threshold_rejected(self, tiny_workload):
+        with pytest.raises(ValueError):
+            annotate_feedback(tiny_workload, max_think_time=-1)
+
+    def test_stats_fraction(self):
+        workload = make_workload(sorted(user_sequence(), key=lambda j: j.submit_time)).renumbered()
+        _, stats = annotate_feedback(workload, max_think_time=1200)
+        assert stats.annotated_fraction == pytest.approx(1 / 4)
+
+
+class TestStripAndSessions:
+    def test_strip_removes_all_dependencies(self):
+        workload = make_workload(sorted(user_sequence(), key=lambda j: j.submit_time)).renumbered()
+        annotated, _ = annotate_feedback(workload, max_think_time=1200)
+        stripped = strip_feedback(annotated)
+        assert all(not j.has_dependency for j in stripped)
+        assert all(j.think_time == MISSING for j in stripped)
+
+    def test_sessions_of_builds_chains(self):
+        jobs = [
+            make_job(1, submit=0, runtime=10, user_id=1),
+            make_job(2, submit=20, runtime=10, user_id=1, preceding_job=1, think_time=10),
+            make_job(3, submit=40, runtime=10, user_id=1, preceding_job=2, think_time=10),
+            make_job(4, submit=100, runtime=10, user_id=2),
+        ]
+        sessions = sessions_of(make_workload(jobs))
+        lengths = sorted(len(chain) for chain in sessions)
+        assert lengths == [1, 3]
+
+    def test_sessions_ordered_by_first_submit(self):
+        jobs = [
+            make_job(1, submit=50, runtime=10, user_id=2),
+            make_job(2, submit=0, runtime=10, user_id=1),
+        ]
+        sessions = sessions_of(make_workload(jobs).sorted_by_submit().renumbered())
+        assert sessions[0][0].submit_time == 0

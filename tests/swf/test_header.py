@@ -1,0 +1,90 @@
+"""Unit tests for SWF header comments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.swf import RequestedTimeKind, SWFHeader
+from repro.core.swf.header import HeaderEntry
+
+
+class TestBasicAccess:
+    def test_add_and_get(self):
+        header = SWFHeader().add("Computer", "iPSC/860").add("MaxNodes", 128)
+        assert header.get("Computer") == "iPSC/860"
+        assert header.get_int("MaxNodes") == 128
+
+    def test_get_is_case_insensitive(self):
+        header = SWFHeader().add("MaxNodes", 64)
+        assert header.get("maxnodes") == "64"
+
+    def test_get_all_preserves_order(self):
+        header = SWFHeader().add("Note", "first").add("Note", "second")
+        assert header.get_all("Note") == ["first", "second"]
+        assert header.notes == ["first", "second"]
+
+    def test_set_replaces_all_occurrences(self):
+        header = SWFHeader().add("Note", "a").add("Note", "b")
+        header.set("Note", "only")
+        assert header.get_all("Note") == ["only"]
+
+    def test_missing_label_returns_default(self):
+        header = SWFHeader()
+        assert header.get("Computer") is None
+        assert header.get_int("MaxNodes", 7) == 7
+        assert "Computer" not in header
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            SWFHeader().add("  ", "value")
+
+    def test_get_bool(self):
+        header = SWFHeader().add("AllowOveruse", "Yes")
+        assert header.get_bool("AllowOveruse") is True
+        header.set("AllowOveruse", "No")
+        assert header.get_bool("AllowOveruse") is False
+        header.set("AllowOveruse", "maybe")
+        assert header.get_bool("AllowOveruse", default=None) is None
+
+    def test_entry_format(self):
+        assert HeaderEntry("MaxNodes", "128").format() == "; MaxNodes: 128"
+
+    def test_equality(self):
+        a = SWFHeader().add("Version", 2)
+        b = SWFHeader().add("Version", 2)
+        assert a == b
+        assert a != SWFHeader()
+
+
+class TestTypedAccessors:
+    def test_standard_header_carries_required_labels(self):
+        header = SWFHeader.standard(
+            computer="IBM SP2", installation="CTC", max_nodes=430, max_runtime=64800
+        )
+        assert header.version == 2
+        assert header.computer == "IBM SP2"
+        assert header.installation == "CTC"
+        assert header.max_nodes == 430
+        assert header.max_runtime == 64800
+        assert header.allow_overuse is False
+        assert "Queues" in header
+
+    def test_max_nodes_falls_back_to_max_procs(self):
+        header = SWFHeader().add("MaxProcs", 256)
+        assert header.max_nodes == 256
+
+    def test_get_int_parses_leading_number(self):
+        header = SWFHeader().add("MaxNodes", "128 (4 partitions of 32)")
+        assert header.max_nodes == 128
+
+    def test_requested_time_kind_default_wallclock(self):
+        assert SWFHeader().requested_time_kind is RequestedTimeKind.WALLCLOCK
+
+    def test_requested_time_kind_cpu_from_note(self):
+        header = SWFHeader().add("Note", "Requested time is average CPU time per processor")
+        assert header.requested_time_kind is RequestedTimeKind.AVERAGE_CPU
+
+    def test_known_and_unknown_labels(self):
+        header = SWFHeader().add("MaxNodes", 1).add("MyCustomLabel", "x")
+        assert header.known_labels() == ["MaxNodes"]
+        assert header.unknown_labels() == ["MyCustomLabel"]

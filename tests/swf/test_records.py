@@ -1,0 +1,128 @@
+"""Unit tests for the SWFJob record and its derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.swf import FIELD_COUNT, FIELD_NAMES, MISSING, CompletionStatus, SWFJob
+from tests.conftest import make_job
+
+
+class TestConstruction:
+    def test_defaults_are_missing(self):
+        job = SWFJob(job_number=1)
+        for name in FIELD_NAMES[1:]:
+            assert getattr(job, name) == MISSING
+
+    def test_job_number_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SWFJob(job_number=0)
+
+    def test_float_fields_coerced_when_integral(self):
+        job = SWFJob(job_number=1, run_time=100.0)
+        assert job.run_time == 100
+
+    def test_non_integral_float_rejected(self):
+        with pytest.raises(ValueError):
+            SWFJob(job_number=1, run_time=100.5)
+
+    def test_string_field_rejected(self):
+        with pytest.raises(TypeError):
+            SWFJob(job_number=1, run_time="fast")
+
+    def test_bool_field_rejected(self):
+        with pytest.raises(TypeError):
+            SWFJob(job_number=1, status=True)
+
+    def test_from_fields_round_trip(self):
+        job = make_job(7, submit=100, runtime=250, processors=16)
+        assert SWFJob.from_fields(job.to_fields()) == job
+
+    def test_from_fields_wrong_length(self):
+        with pytest.raises(ValueError):
+            SWFJob.from_fields([1] * (FIELD_COUNT - 1))
+
+    def test_replace_creates_modified_copy(self):
+        job = make_job(1)
+        changed = job.replace(run_time=999)
+        assert changed.run_time == 999
+        assert job.run_time == 100
+        assert changed.job_number == job.job_number
+
+    def test_records_are_hashable_and_frozen(self):
+        job = make_job(1)
+        with pytest.raises(AttributeError):
+            job.run_time = 5  # type: ignore[misc]
+        assert len({job, make_job(1)}) == 1
+
+
+class TestDerivedTimes:
+    def test_start_end_response(self):
+        job = make_job(1, submit=100, wait=50, runtime=200)
+        assert job.start_time == 150
+        assert job.end_time == 350
+        assert job.response_time == 250
+
+    def test_unknown_times_propagate_none(self):
+        job = SWFJob(job_number=1, submit_time=10)
+        assert job.start_time is None
+        assert job.end_time is None
+        assert job.response_time is None
+
+    def test_slowdown(self):
+        job = make_job(1, wait=100, runtime=100)
+        assert job.slowdown() == pytest.approx(2.0)
+
+    def test_slowdown_undefined_for_zero_runtime(self):
+        job = make_job(1, wait=100, runtime=0)
+        assert job.slowdown() is None
+
+    def test_bounded_slowdown_clamps_short_jobs(self):
+        job = make_job(1, wait=100, runtime=1)
+        assert job.bounded_slowdown(tau=10.0) == pytest.approx(101 / 10)
+        # A long job is unaffected by the bound.
+        long_job = make_job(2, wait=100, runtime=1000)
+        assert long_job.bounded_slowdown(tau=10.0) == pytest.approx(long_job.slowdown())
+
+    def test_bounded_slowdown_never_below_one(self):
+        job = make_job(1, wait=0, runtime=5)
+        assert job.bounded_slowdown(tau=10.0) == 1.0
+
+    def test_bounded_slowdown_requires_positive_tau(self):
+        with pytest.raises(ValueError):
+            make_job(1).bounded_slowdown(tau=0)
+
+    def test_area(self):
+        job = make_job(1, runtime=100, processors=8)
+        assert job.area == 800
+
+    def test_processors_falls_back_to_requested(self):
+        job = SWFJob(job_number=1, requested_processors=32)
+        assert job.processors == 32
+
+
+class TestPredicates:
+    def test_completion_status_enum(self):
+        assert make_job(1, status=1).completion_status is CompletionStatus.COMPLETED
+        assert make_job(1, status=0).completion_status is CompletionStatus.KILLED
+        assert make_job(1, status=-1).completion_status is CompletionStatus.UNKNOWN
+
+    def test_out_of_range_status_maps_to_unknown(self):
+        assert make_job(1, status=9).completion_status is CompletionStatus.UNKNOWN
+
+    def test_summary_vs_partial_lines(self):
+        assert make_job(1, status=1).is_summary_line
+        assert not make_job(1, status=2).is_summary_line
+        assert CompletionStatus.PARTIAL_LAST_KILLED.is_terminal_partial
+
+    def test_interactive_queue_convention(self):
+        assert make_job(1, queue_number=0).is_interactive
+        assert not make_job(1, queue_number=1).is_interactive
+
+    def test_dependency_predicate(self):
+        assert not make_job(1).has_dependency
+        assert make_job(2, preceding_job=1, think_time=30).has_dependency
+
+    def test_requested_or_actual_time(self):
+        assert make_job(1, runtime=100, requested_time=300).requested_or_actual_time() == 300
+        assert make_job(1, runtime=100, requested_time=MISSING).requested_or_actual_time() == 100

@@ -1,0 +1,89 @@
+"""Unit tests for workload descriptive statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.swf import MISSING, describe_distribution, summarize
+from tests.conftest import make_job, make_workload
+
+
+class TestDescribeDistribution:
+    def test_basic_summary(self):
+        summary = describe_distribution([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.median == pytest.approx(3.0)
+        assert summary.minimum == 1 and summary.maximum == 5
+
+    def test_empty_sample(self):
+        summary = describe_distribution([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_cv_of_constant_sample_is_zero(self):
+        assert describe_distribution([7, 7, 7]).cv == 0.0
+
+    def test_none_values_filtered(self):
+        assert describe_distribution([1, None, 3]).count == 2
+
+
+class TestSummarize:
+    def test_counts_and_fractions(self):
+        jobs = [
+            make_job(1, submit=0, runtime=100, processors=1, queue_number=0, user_id=1),
+            make_job(2, submit=100, runtime=200, processors=4, queue_number=1, user_id=2),
+            make_job(3, submit=200, runtime=300, processors=3, queue_number=1, user_id=1, status=0),
+            make_job(4, submit=300, runtime=400, processors=8, queue_number=1, user_id=3),
+        ]
+        stats = summarize(make_workload(jobs), machine_size=32)
+        assert stats.jobs == 4
+        assert stats.users == 3
+        assert stats.serial_fraction == pytest.approx(0.25)
+        assert stats.power_of_two_fraction == pytest.approx(0.75)
+        assert stats.interactive_fraction == pytest.approx(0.25)
+        assert stats.killed_fraction == pytest.approx(0.25)
+        assert stats.machine_size == 32
+
+    def test_interarrival_statistics(self):
+        jobs = [make_job(i + 1, submit=i * 100, runtime=10) for i in range(5)]
+        stats = summarize(make_workload(jobs))
+        assert stats.interarrival.mean == pytest.approx(100.0)
+        assert stats.interarrival.cv == pytest.approx(0.0)
+
+    def test_requested_time_accuracy(self):
+        jobs = [make_job(1, runtime=100, requested_time=200), make_job(2, submit=10, runtime=50, requested_time=100)]
+        stats = summarize(make_workload(jobs))
+        assert stats.requested_time_accuracy == pytest.approx(0.5)
+
+    def test_accuracy_none_when_no_estimates(self):
+        jobs = [make_job(1, requested_time=MISSING)]
+        assert summarize(make_workload(jobs)).requested_time_accuracy is None
+
+    def test_machine_size_defaults_to_header(self, tiny_workload):
+        stats = summarize(tiny_workload)
+        assert stats.machine_size == 32
+
+    def test_size_histogram(self, tiny_workload):
+        stats = summarize(tiny_workload)
+        assert stats.size_histogram == {8: 1, 16: 1, 32: 1, 4: 1}
+
+    def test_dependency_fraction(self):
+        jobs = [
+            make_job(1, submit=0),
+            make_job(2, submit=10, preceding_job=1, think_time=5),
+        ]
+        stats = summarize(make_workload(jobs))
+        assert stats.with_dependency_fraction == pytest.approx(0.5)
+
+    def test_as_dict_round_numbers(self, lublin_workload):
+        stats = summarize(lublin_workload)
+        flat = stats.as_dict()
+        assert flat["jobs"] == len(lublin_workload)
+        assert 0 < flat["offered_load"] < 2
+        assert set(flat) >= {"mean_size", "mean_runtime", "interarrival_cv"}
+
+    def test_partial_lines_excluded(self):
+        jobs = [make_job(1, runtime=100), make_job(1, status=2, runtime=40)]
+        stats = summarize(make_workload(jobs))
+        assert stats.jobs == 1

@@ -1,0 +1,74 @@
+"""Tests for the synthetic archive traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.swf import parse_swf_text, summarize, validate, write_swf_text
+from repro.data import ARCHIVES, archive_names, synthetic_archive
+
+
+class TestArchiveGeneration:
+    def test_all_archives_listed(self):
+        assert set(archive_names()) == {"nasa-ipsc", "ctc-sp2", "sdsc-paragon", "lanl-cm5"}
+
+    @pytest.mark.parametrize("name", ["nasa-ipsc", "ctc-sp2", "sdsc-paragon", "lanl-cm5"])
+    def test_archive_is_standard_conforming(self, name):
+        workload = synthetic_archive(name, jobs=600, seed=1)
+        assert len(workload) == 600
+        assert validate(workload).is_clean
+
+    @pytest.mark.parametrize("name", ["nasa-ipsc", "ctc-sp2", "sdsc-paragon", "lanl-cm5"])
+    def test_offered_load_matches_spec(self, name):
+        workload = synthetic_archive(name, jobs=800, seed=2)
+        spec = ARCHIVES[name]
+        assert workload.offered_load(spec.machine_size) == pytest.approx(
+            spec.offered_load, rel=0.1
+        )
+
+    def test_unknown_archive_rejected(self):
+        with pytest.raises(KeyError):
+            synthetic_archive("cray-t3e")
+
+    def test_invalid_job_count_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_archive("ctc-sp2", jobs=0)
+
+    def test_reproducible_with_seed(self):
+        a = synthetic_archive("ctc-sp2", jobs=200, seed=5)
+        b = synthetic_archive("ctc-sp2", jobs=200, seed=5)
+        assert a.jobs == b.jobs
+
+
+class TestArchiveCharacter:
+    def test_nasa_is_power_of_two_and_interactive(self):
+        stats = summarize(synthetic_archive("nasa-ipsc", jobs=800, seed=3))
+        assert stats.power_of_two_fraction == pytest.approx(1.0)
+        assert stats.interactive_fraction > 0.3
+
+    def test_ctc_is_batch_dominated(self):
+        stats = summarize(synthetic_archive("ctc-sp2", jobs=800, seed=3))
+        assert stats.interactive_fraction < 0.1
+
+    def test_cm5_respects_minimum_allocation(self):
+        workload = synthetic_archive("lanl-cm5", jobs=500, seed=4)
+        assert all(j.allocated_processors % 32 == 0 for j in workload)
+        assert all(j.allocated_processors >= 32 for j in workload)
+
+    def test_archives_carry_memory_data(self):
+        workload = synthetic_archive("lanl-cm5", jobs=200, seed=5)
+        with_memory = [j for j in workload if j.used_memory > 0]
+        assert len(with_memory) == len(workload)
+
+    def test_headers_identify_the_machine(self):
+        workload = synthetic_archive("sdsc-paragon", jobs=100, seed=6)
+        assert "Paragon" in workload.header.computer
+        assert workload.header.max_nodes == 416
+
+    def test_some_jobs_are_killed(self):
+        stats = summarize(synthetic_archive("ctc-sp2", jobs=1000, seed=7))
+        assert 0.0 < stats.killed_fraction < 0.2
+
+    def test_round_trip_through_swf_text(self):
+        workload = synthetic_archive("nasa-ipsc", jobs=300, seed=8)
+        assert parse_swf_text(write_swf_text(workload)).jobs == workload.jobs

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import MODELS, SCHEDULERS, build_parser, main
+from repro.core.swf import parse_swf, write_swf
+from repro.workloads import Lublin99Model
+from tests.conftest import make_job, make_workload
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    workload = Lublin99Model(machine_size=32).generate_with_load(80, 0.6, seed=2)
+    path = tmp_path / "trace.swf"
+    write_swf(workload, path)
+    return path
+
+
+class TestParser:
+    def test_every_command_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["validate", "x.swf"])
+        assert args.command == "validate"
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rosters_cover_documented_names(self):
+        assert set(SCHEDULERS) == {"fcfs", "first-fit", "sjf", "easy", "conservative"}
+        assert "lublin99" in MODELS and "sessions" in MODELS
+
+
+class TestValidateAndStats:
+    def test_validate_clean_trace_exits_zero(self, trace_path, capsys):
+        assert main(["validate", str(trace_path)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_validate_broken_trace_exits_nonzero(self, tmp_path, capsys):
+        broken = make_workload([make_job(5, submit=100)])  # bad numbering + origin
+        path = tmp_path / "broken.swf"
+        write_swf(broken, path)
+        assert main(["validate", str(path)]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_stats_prints_table(self, trace_path, capsys):
+        assert main(["stats", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "offered_load" in out and "mean_runtime" in out
+
+
+class TestGenerateAndSimulate:
+    def test_generate_model_with_target_load(self, tmp_path, capsys):
+        out_path = tmp_path / "model.swf"
+        code = main(
+            ["generate", "lublin99", str(out_path), "--jobs", "100",
+             "--machine-size", "64", "--load", "0.7", "--seed", "3"]
+        )
+        assert code == 0
+        workload = parse_swf(out_path)
+        assert len(workload) == 100
+        assert workload.offered_load(64) == pytest.approx(0.7, rel=0.1)
+
+    def test_generate_archive(self, tmp_path):
+        out_path = tmp_path / "ctc.swf"
+        assert main(["generate", "ctc-sp2", str(out_path), "--jobs", "150", "--seed", "1"]) == 0
+        assert len(parse_swf(out_path)) == 150
+
+    def test_generate_unknown_source_fails(self, tmp_path):
+        assert main(["generate", "not-a-model", str(tmp_path / "x.swf")]) == 2
+
+    def test_simulate_prints_metrics(self, trace_path, capsys):
+        assert main(["simulate", str(trace_path), "--scheduler", "easy"]) == 0
+        out = capsys.readouterr().out
+        assert "easy-backfill" in out
+        assert "utilization" in out
+
+    def test_outages_command_writes_log(self, tmp_path, capsys):
+        out_path = tmp_path / "outages.log"
+        code = main(["outages", "64", str(30 * 24 * 3600), str(out_path), "--seed", "4"])
+        assert code == 0
+        assert out_path.exists()
+        assert "outages" in capsys.readouterr().out
+
+    def test_convert_command(self, tmp_path, capsys):
+        raw = tmp_path / "raw.csv"
+        raw.write_text(
+            "job_id,user,group,queue,submit_ts,start_ts,end_ts,processors\n"
+            "1,alice,phys,batch,100,150,300,8\n"
+            "2,bob,chem,batch,120,300,500,4\n"
+        )
+        out_path = tmp_path / "converted.swf"
+        assert main(["convert", str(raw), str(out_path), "--computer", "Test SP2"]) == 0
+        converted = parse_swf(out_path)
+        assert len(converted) == 2
+        assert converted.header.computer == "Test SP2"

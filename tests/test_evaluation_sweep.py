@@ -1,0 +1,66 @@
+"""Tests for the higher-level evaluation drivers (comparisons, load sweeps, tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import compare_schedulers, format_table, load_sweep
+from repro.schedulers import EasyBackfillScheduler, FCFSScheduler
+from tests.conftest import make_job, make_workload
+
+
+class TestCompareSchedulers:
+    def test_one_row_per_scheduler(self, lublin_workload):
+        rows = compare_schedulers(
+            lublin_workload, [FCFSScheduler(), EasyBackfillScheduler()], machine_size=64
+        )
+        assert [r.scheduler for r in rows] == ["fcfs", "easy-backfill"]
+        assert all(r.label == lublin_workload.name for r in rows)
+        assert all(len(r.result.jobs) == len(lublin_workload.summary_jobs()) for r in rows)
+
+    def test_reports_use_requested_tau(self, lublin_workload):
+        rows = compare_schedulers(lublin_workload, [FCFSScheduler()], machine_size=64, tau=60.0)
+        assert rows[0].report.tau == 60.0
+
+
+class TestLoadSweep:
+    def test_sweep_hits_requested_loads(self, lublin_workload):
+        rows = load_sweep(
+            lublin_workload,
+            EasyBackfillScheduler,
+            loads=[0.5, 0.8],
+            machine_size=64,
+        )
+        assert [r.label for r in rows] == ["load=0.50", "load=0.80"]
+        # Higher offered load never decreases the mean wait.
+        assert rows[1].report.mean_wait >= rows[0].report.mean_wait * 0.9
+
+    def test_sweep_requires_measurable_base_load(self):
+        degenerate = make_workload([make_job(1, submit=0)])
+        with pytest.raises(ValueError):
+            load_sweep(degenerate, FCFSScheduler, loads=[0.5], machine_size=32)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        rows = [
+            {"name": "fcfs", "wait": 10.5},
+            {"name": "easy-backfill", "wait": 3.25},
+        ]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "easy-backfill" in table
+        assert lines[0].startswith("name")
+
+    def test_explicit_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_empty_table(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_missing_cells_render_blank(self):
+        table = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in table

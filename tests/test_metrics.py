@@ -1,0 +1,198 @@
+"""Unit tests for metrics, objective functions, and ranking comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.results import JobResult, SimulationResult
+from repro.metrics import (
+    MAXIMIZE_METRICS,
+    ObjectiveFunction,
+    compute_metrics,
+    confidence_interval,
+    kendall_tau,
+    rank_schedulers,
+    ranking_agreement,
+)
+from tests.conftest import make_job
+
+
+def job_result(job_id, submit=0.0, start=0.0, end=100.0, processors=4, killed=False):
+    return JobResult(
+        job=make_job(job_id),
+        submit_time=submit,
+        start_time=start,
+        end_time=end,
+        processors=processors,
+        killed=killed,
+    )
+
+
+def simulation(name="test", machine=16, jobs=None, available=None):
+    return SimulationResult(
+        scheduler_name=name,
+        machine_size=machine,
+        jobs=jobs or [],
+        available_node_seconds=available,
+    )
+
+
+class TestJobResult:
+    def test_derived_times(self):
+        r = job_result(1, submit=10, start=60, end=160)
+        assert r.wait_time == 50
+        assert r.run_time == 100
+        assert r.response_time == 150
+        assert r.slowdown() == pytest.approx(1.5)
+        assert r.area == 400
+
+    def test_bounded_slowdown_clamps(self):
+        r = job_result(1, submit=0, start=100, end=101)
+        assert r.bounded_slowdown(tau=10) == pytest.approx(101 / 10)
+        assert r.slowdown() == pytest.approx(101.0)
+
+    def test_zero_runtime_slowdown_infinite(self):
+        r = job_result(1, start=50, end=50)
+        assert r.slowdown() == float("inf")
+        assert r.bounded_slowdown() >= 1.0
+
+
+class TestComputeMetrics:
+    def test_aggregates(self):
+        jobs = [
+            job_result(1, submit=0, start=0, end=100, processors=8),
+            job_result(2, submit=0, start=100, end=200, processors=8),
+        ]
+        report = compute_metrics(simulation(jobs=jobs))
+        assert report.jobs == 2
+        assert report.mean_wait == pytest.approx(50.0)
+        assert report.mean_response == pytest.approx(150.0)
+        assert report.makespan == 200.0
+        # 1600 processor-seconds over a 16 x 200 window.
+        assert report.utilization == pytest.approx(0.5)
+        assert report.throughput_per_hour == pytest.approx(2 / (200 / 3600))
+
+    def test_killed_jobs_counted_separately(self):
+        jobs = [job_result(1), job_result(2, killed=True)]
+        report = compute_metrics(simulation(jobs=jobs))
+        assert report.jobs == 1
+        assert report.killed == 1
+
+    def test_utilization_uses_available_capacity_when_given(self):
+        jobs = [job_result(1, start=0, end=100, processors=8)]
+        full = compute_metrics(simulation(jobs=jobs))
+        reduced = compute_metrics(simulation(jobs=jobs, available=800.0))
+        assert reduced.utilization == pytest.approx(1.0)
+        assert full.utilization == pytest.approx(0.5)
+
+    def test_empty_simulation(self):
+        report = compute_metrics(simulation(jobs=[]))
+        assert report.jobs == 0
+        assert report.mean_wait == 0.0
+        assert report.utilization == 0.0
+
+    def test_value_lookup_and_as_dict(self):
+        report = compute_metrics(simulation(jobs=[job_result(1)]))
+        assert report.value("mean_wait") == report.mean_wait
+        with pytest.raises(KeyError):
+            report.value("no_such_metric")
+        assert "utilization" in report.as_dict()
+
+
+class TestConfidenceInterval:
+    def test_mean_and_width(self):
+        mean, half = confidence_interval([10.0] * 100)
+        assert mean == 10.0
+        assert half == 0.0
+
+    def test_width_shrinks_with_samples(self):
+        small = confidence_interval(list(range(10)))[1]
+        large = confidence_interval(list(range(10)) * 100)[1]
+        assert large < small
+
+    def test_degenerate_inputs(self):
+        assert confidence_interval([]) == (0.0, 0.0)
+        assert confidence_interval([5.0])[1] == 0.0
+
+
+def report_with(name, **values):
+    """A MetricsReport with selected fields overridden (others zero)."""
+    base = dict(
+        scheduler=name,
+        jobs=100,
+        killed=0,
+        mean_wait=0.0,
+        median_wait=0.0,
+        mean_response=0.0,
+        median_response=0.0,
+        mean_slowdown=0.0,
+        mean_bounded_slowdown=0.0,
+        median_bounded_slowdown=0.0,
+        p90_bounded_slowdown=0.0,
+        utilization=0.0,
+        throughput_per_hour=0.0,
+        makespan=0.0,
+        total_area=0.0,
+    )
+    base.update(values)
+    from repro.metrics.basic import MetricsReport
+
+    return MetricsReport(**base)
+
+
+class TestObjectiveAndRanking:
+    def test_rank_by_minimize_metric(self):
+        reports = [report_with("a", mean_wait=100), report_with("b", mean_wait=10)]
+        assert rank_schedulers(reports, metric="mean_wait") == ["b", "a"]
+
+    def test_rank_by_maximize_metric(self):
+        reports = [report_with("a", utilization=0.5), report_with("b", utilization=0.9)]
+        assert rank_schedulers(reports, metric="utilization") == ["b", "a"]
+        assert "utilization" in MAXIMIZE_METRICS
+
+    def test_rank_requires_exactly_one_criterion(self):
+        reports = [report_with("a")]
+        with pytest.raises(ValueError):
+            rank_schedulers(reports)
+        with pytest.raises(ValueError):
+            rank_schedulers(reports, metric="mean_wait", objective=ObjectiveFunction({"mean_wait": 1.0}))
+
+    def test_objective_weights_change_winner(self):
+        fast_but_wasteful = report_with("fast", mean_wait=10, utilization=0.4)
+        slow_but_packed = report_with("packed", mean_wait=100, utilization=0.95)
+        reports = [fast_but_wasteful, slow_but_packed]
+        wait_heavy = ObjectiveFunction({"mean_wait": 1.0, "utilization": 0.01},
+                                       scales={"mean_wait": 100, "utilization": 1})
+        util_heavy = ObjectiveFunction({"mean_wait": 0.01, "utilization": 1.0},
+                                       scales={"mean_wait": 100, "utilization": 1})
+        assert rank_schedulers(reports, objective=wait_heavy)[0] == "fast"
+        assert rank_schedulers(reports, objective=util_heavy)[0] == "packed"
+
+    def test_objective_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveFunction({"nonexistent": 1.0})
+        with pytest.raises(ValueError):
+            ObjectiveFunction({})
+
+    def test_normalized_to_reference(self):
+        reference = report_with("ref", mean_wait=200.0, utilization=0.8)
+        objective = ObjectiveFunction({"mean_wait": 1.0, "utilization": 1.0}).normalized_to(reference)
+        cost = objective.evaluate(reference)
+        # Normalized reference: +1 (wait) - 1 (utilization) = 0.
+        assert cost == pytest.approx(0.0)
+
+    def test_kendall_tau_extremes(self):
+        assert kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+        assert kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+
+    def test_kendall_tau_requires_same_items(self):
+        with pytest.raises(ValueError):
+            kendall_tau(["a"], ["b"])
+
+    def test_ranking_agreement_matrix(self):
+        reports = [
+            report_with("a", mean_wait=10, utilization=0.9),
+            report_with("b", mean_wait=20, utilization=0.5),
+        ]
+        agreement = ranking_agreement(reports, ["mean_wait", "utilization"])
+        assert agreement[("mean_wait", "utilization")] == 1.0

@@ -1,0 +1,193 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import Simulator
+from repro.simulation.engine import SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, "late")
+        sim.schedule(5.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_clock_advances_to_last_event(self):
+        sim = Simulator()
+        sim.schedule(7.5, lambda: None)
+        sim.run()
+        assert sim.now == 7.5
+
+    def test_same_time_priority_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "low-priority", priority=5)
+        sim.schedule(1.0, fired.append, "high-priority", priority=0)
+        sim.run()
+        assert fired == ["high-priority", "low-priority"]
+
+    def test_same_time_same_priority_is_fifo(self):
+        sim = Simulator()
+        fired = []
+        for label in ("a", "b", "c"):
+            sim.schedule(1.0, fired.append, label)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=100.0)
+        fired = []
+        sim.schedule_at(150.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 150.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator(start_time=50.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(10.0, lambda: None)
+
+    def test_kwargs_passed_to_callback(self):
+        sim = Simulator()
+        seen = {}
+        sim.schedule(1.0, lambda **kw: seen.update(kw), value=42)
+        sim.run()
+        assert seen == {"value": 42}
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(5.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 6.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "cancelled")
+        sim.schedule(2.0, fired.append, "kept")
+        handle.cancel()
+        sim.run()
+        assert fired == ["kept"]
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.run() == 0
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(i + 1.0, fired.append, i)
+        executed = sim.run(max_events=2)
+        assert executed == 2
+        assert fired == [0, 1]
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired[0] == "a"
+        assert "b" not in fired
+
+    def test_step_returns_none_on_empty_queue(self):
+        assert Simulator().step() is None
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        handle.cancel()
+        assert sim.peek() == 3.0
+
+    def test_advance_to_moves_idle_clock(self):
+        sim = Simulator()
+        sim.advance_to(42.0)
+        assert sim.now == 42.0
+
+    def test_advance_to_cannot_skip_events(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.advance_to(10.0)
+
+    def test_advance_to_cannot_go_backwards(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.advance_to(5.0)
+
+    def test_processed_event_count(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_events_always_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.schedule(delay, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=2, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_equal_times_preserve_insertion_order(self, values):
+        sim = Simulator()
+        fired = []
+        for value in values:
+            sim.schedule(1.0, fired.append, value)
+        sim.run()
+        assert fired == values

@@ -1,0 +1,142 @@
+"""Tests for the shared workload-model infrastructure (arrivals, populations, assembly)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.swf import MISSING, validate
+from repro.simulation import make_rng
+from repro.workloads.base import (
+    DailyCycleArrivals,
+    PoissonArrivals,
+    UserPopulation,
+    assemble_workload,
+    round_to_power_of_two,
+)
+
+
+class TestRoundToPowerOfTwo:
+    @pytest.mark.parametrize(
+        "value,maximum,expected",
+        [(1, 128, 1), (3, 128, 4), (5, 128, 4), (6, 128, 8), (100, 128, 128), (1000, 128, 128), (0.5, 128, 1)],
+    )
+    def test_rounding(self, value, maximum, expected):
+        assert round_to_power_of_two(value, maximum) == expected
+
+    def test_result_is_always_a_power_of_two_within_bounds(self):
+        rng = make_rng(0)
+        for value in rng.uniform(0.1, 500, size=200):
+            result = round_to_power_of_two(float(value), 64)
+            assert 1 <= result <= 64
+            assert result & (result - 1) == 0
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean_interarrival(self):
+        arrivals = PoissonArrivals(100.0).generate(make_rng(1), 5000)
+        gaps = np.diff(arrivals)
+        assert gaps.mean() == pytest.approx(100.0, rel=0.1)
+        assert arrivals[0] == 0.0
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_poisson_invalid_mean(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+    def test_daily_cycle_intensity_normalized(self):
+        cycle = DailyCycleArrivals(100.0, peak_to_trough=4.0)
+        hours = np.arange(0, 24, 0.25)
+        intensities = [cycle.intensity(h * 3600) for h in hours]
+        assert np.mean(intensities) == pytest.approx(1.0, rel=0.02)
+        assert max(intensities) / min(intensities) == pytest.approx(4.0, rel=0.05)
+
+    def test_daily_cycle_peak_hour(self):
+        cycle = DailyCycleArrivals(100.0, peak_to_trough=3.0, peak_hour=14.0)
+        assert cycle.intensity(14 * 3600) > cycle.intensity(2 * 3600)
+
+    def test_daily_cycle_generates_requested_count(self):
+        arrivals = DailyCycleArrivals(200.0).generate(make_rng(2), 500)
+        assert len(arrivals) == 500
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_daily_cycle_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DailyCycleArrivals(0.0)
+        with pytest.raises(ValueError):
+            DailyCycleArrivals(100.0, peak_to_trough=0.5)
+
+
+class TestUserPopulation:
+    def test_assignment_shapes_and_ranges(self):
+        population = UserPopulation(users=10, groups=3, executables=20)
+        users, groups, executables = population.assign(make_rng(3), 500)
+        assert len(users) == len(groups) == len(executables) == 500
+        assert users.min() >= 1 and users.max() <= 10
+        assert groups.min() >= 1 and groups.max() <= 3
+        assert executables.min() >= 1 and executables.max() <= 20
+
+    def test_group_membership_is_stable_per_user(self):
+        population = UserPopulation(users=5, groups=3, executables=10)
+        users, groups, _ = population.assign(make_rng(4), 400)
+        group_of_user = {}
+        for user, group in zip(users, groups):
+            assert group_of_user.setdefault(user, group) == group
+
+    def test_popularity_is_skewed(self):
+        population = UserPopulation(users=20, zipf_exponent=1.2)
+        users, _, _ = population.assign(make_rng(5), 2000)
+        counts = np.bincount(users, minlength=21)
+        assert counts[1] > counts[1:].mean()
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            UserPopulation(users=0)
+
+
+class TestAssembleWorkload:
+    def test_assembly_sorts_and_zeroes_origin(self):
+        workload = assemble_workload(
+            name="test-model",
+            computer="test machine",
+            machine_size=64,
+            arrivals=[500.0, 100.0, 300.0],
+            sizes=[4, 8, 16],
+            runtimes=[60.0, 120.0, 180.0],
+        )
+        assert [j.submit_time for j in workload] == [0, 200, 400]
+        assert [j.allocated_processors for j in workload] == [8, 16, 4]
+        assert validate(workload).is_clean
+
+    def test_missing_optional_fields_stay_missing(self):
+        workload = assemble_workload(
+            name="m", computer="c", machine_size=8,
+            arrivals=[0.0], sizes=[2], runtimes=[10.0],
+        )
+        job = workload[0]
+        assert job.user_id == MISSING
+        assert job.requested_time == MISSING
+        assert job.queue_number == 1
+
+    def test_estimates_never_below_runtime(self):
+        workload = assemble_workload(
+            name="m", computer="c", machine_size=8,
+            arrivals=[0.0], sizes=[2], runtimes=[100.0], estimates=[10.0],
+        )
+        assert workload[0].requested_time == 100
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_workload(
+                name="m", computer="c", machine_size=8,
+                arrivals=[0.0, 1.0], sizes=[2], runtimes=[10.0, 20.0],
+            )
+
+    def test_header_describes_model(self):
+        workload = assemble_workload(
+            name="my-model", computer="Test MPP", machine_size=32,
+            arrivals=[0.0], sizes=[1], runtimes=[5.0],
+        )
+        assert workload.header.computer == "Test MPP"
+        assert workload.header.max_nodes == 32
+        assert any("my-model" in note for note in workload.header.notes)

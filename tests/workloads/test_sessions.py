@@ -1,0 +1,71 @@
+"""Tests for the closed user-session workload model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.swf import validate
+from repro.core.swf.feedback import sessions_of
+from repro.workloads import Lublin99Model, SessionModel
+
+
+@pytest.fixture(scope="module")
+def session_workload():
+    model = SessionModel(
+        machine_size=64,
+        job_model=Lublin99Model(machine_size=64),
+        users=20,
+        mean_session_length=4.0,
+        mean_think_time=300.0,
+    )
+    return model.generate(400, seed=21)
+
+
+class TestSessionModel:
+    def test_workload_is_standard_conforming(self, session_workload):
+        report = validate(session_workload)
+        assert report.is_clean, report.errors[:3]
+
+    def test_dependencies_present(self, session_workload):
+        dependent = [j for j in session_workload if j.has_dependency]
+        assert len(dependent) > len(session_workload) * 0.3
+
+    def test_dependencies_stay_within_a_user(self, session_workload):
+        by_number = {j.job_number: j for j in session_workload}
+        for job in session_workload:
+            if job.has_dependency:
+                assert by_number[job.preceding_job].user_id == job.user_id
+
+    def test_think_times_non_negative(self, session_workload):
+        for job in session_workload:
+            if job.has_dependency:
+                assert job.think_time >= 0
+
+    def test_user_population_respected(self, session_workload):
+        assert len(session_workload.users()) <= 20
+
+    def test_sessions_have_expected_mean_length(self, session_workload):
+        chains = sessions_of(session_workload)
+        mean_length = sum(len(c) for c in chains) / len(chains)
+        assert 1.5 < mean_length < 10.0
+
+    def test_submit_times_consistent_with_zero_wait_assumption(self, session_workload):
+        """A dependent job is never submitted before its predecessor could finish."""
+        by_number = {j.job_number: j for j in session_workload}
+        for job in session_workload:
+            if job.has_dependency:
+                predecessor = by_number[job.preceding_job]
+                earliest = predecessor.submit_time + predecessor.run_time
+                assert job.submit_time >= earliest - 1  # integer rounding slack
+
+    def test_reproducible(self):
+        model = SessionModel(machine_size=32, users=5)
+        assert model.generate(50, seed=3).jobs == model.generate(50, seed=3).jobs
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SessionModel(machine_size=32, users=0)
+        with pytest.raises(ValueError):
+            SessionModel(machine_size=32, mean_session_length=0.5)
+        with pytest.raises(ValueError):
+            SessionModel(machine_size=32, mean_think_time=-1)
