@@ -9,7 +9,8 @@ maintenance "cannot possibly be accurate".  This example:
 3. replays the trace under EASY backfilling with
    (a) no outages, (b) outages and an outage-blind scheduler, and
    (c) outages and an outage-aware scheduler that drains ahead of announced
-   windows,
+   windows — each condition one :class:`repro.Scenario` pointing at the
+   trace and the on-disk outage log,
 4. prints the resulting metrics side by side.
 
 Run with::
@@ -22,7 +23,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import EasyBackfillScheduler, compute_metrics, simulate, synthetic_archive
+from repro import Scenario, run_many, synthetic_archive, write_swf
 from repro.core.outage import OutageModel, generate_outages, write_outage_log
 from repro.evaluation import format_table
 
@@ -30,6 +31,8 @@ from repro.evaluation import format_table
 def main() -> None:
     machine_size = 430  # the CTC SP2's size
     trace = synthetic_archive("ctc-sp2", jobs=2000, seed=17)
+    trace_path = Path(tempfile.gettempdir()) / "ctc-sp2.swf"
+    write_swf(trace, trace_path)
     print(f"trace: {trace.name}, {len(trace)} jobs, load {trace.offered_load():.2f}")
 
     outages = generate_outages(
@@ -44,38 +47,34 @@ def main() -> None:
         ),
         seed=17,
     )
-    path = Path(tempfile.gettempdir()) / "ctc-sp2.outages"
-    write_outage_log(outages, path)
+    outage_path = Path(tempfile.gettempdir()) / "ctc-sp2.outages"
+    write_outage_log(outages, outage_path)
     print(
         f"outage log: {len(outages)} events "
         f"({len(outages.unscheduled())} failures, {len(outages.scheduled())} maintenance windows) "
-        f"written to {path}"
+        f"written to {outage_path}"
     )
 
-    rows = []
-    configurations = [
-        ("no outages", None, False),
-        ("outages, blind scheduler", outages, False),
-        ("outages, drained scheduler", outages, True),
+    base = Scenario(workload=str(trace_path), machine_size=machine_size)
+    scenarios = [
+        base.with_(name="no outages", policy="easy"),
+        base.with_(name="outages, blind scheduler", policy="easy",
+                   outages=str(outage_path)),
+        base.with_(name="outages, drained scheduler", policy="easy:outage_aware=true",
+                   outages=str(outage_path)),
     ]
-    for label, log, aware in configurations:
-        result = simulate(
-            trace,
-            EasyBackfillScheduler(outage_aware=aware),
-            machine_size=machine_size,
-            outages=log,
-            restart_failed_jobs=True,
-        )
-        report = compute_metrics(result)
-        rows.append(
-            {
-                "configuration": label,
-                "mean_wait_s": round(report.mean_wait, 1),
-                "mean_bounded_slowdown": round(report.mean_bounded_slowdown, 2),
-                "utilization": round(report.utilization, 3),
-                "jobs_killed_by_outages": result.outage_kills,
-            }
-        )
+    results = run_many(scenarios)
+
+    rows = [
+        {
+            "configuration": sr.scenario.name,
+            "mean_wait_s": round(sr.report.mean_wait, 1),
+            "mean_bounded_slowdown": round(sr.report.mean_bounded_slowdown, 2),
+            "utilization": round(sr.report.utilization, 3),
+            "jobs_killed_by_outages": sr.result.outage_kills,
+        }
+        for sr in results
+    ]
 
     print()
     print(format_table(rows))

@@ -1,12 +1,14 @@
-"""Quickstart: generate a standard workload, evaluate schedulers, report metrics.
+"""Quickstart: scenarios in, metrics out — the paper's core workflow.
 
-This is the paper's core workflow in ~40 lines:
+This is the unified-API version of the paper's evaluation loop:
 
-1. generate a workload with a published model (Lublin '99),
-2. save it in the Standard Workload Format and check it against the
-   consistency rules,
-3. replay it through three machine schedulers,
-4. report the standard metrics and show how the ranking depends on the metric.
+1. describe each run as a :class:`repro.Scenario` — a workload spec, a policy
+   spec, and the conditions (machine size, offered load, seed),
+2. fan the scenarios out with :func:`repro.run_many` (policies of *any*
+   simulator family: backfilling, priority, gang time-slicing),
+3. report the standard metrics and show how the ranking depends on the metric,
+4. round-trip a scenario through JSON — the exact dict a config file or a
+   distributed worker would consume.
 
 Run with::
 
@@ -15,52 +17,42 @@ Run with::
 
 from __future__ import annotations
 
-import tempfile
-from pathlib import Path
+import json
 
-from repro import (
-    ConservativeBackfillScheduler,
-    EasyBackfillScheduler,
-    FCFSScheduler,
-    Lublin99Model,
-    compute_metrics,
-    parse_swf,
-    rank_schedulers,
-    simulate,
-    validate,
-    write_swf,
-)
+from repro import Scenario, rank_schedulers, run_many
 from repro.evaluation import format_table
 
 
 def main() -> None:
-    machine_size = 128
+    base = Scenario(
+        workload="lublin99:jobs=2000,seed=42",
+        machine_size=128,
+        load=0.7,
+    )
 
-    # 1. Generate a workload at 70% offered load.
-    model = Lublin99Model(machine_size=machine_size)
-    workload = model.generate_with_load(2000, target_load=0.7, seed=42)
-    print(f"generated {len(workload)} jobs, offered load {workload.offered_load():.2f}")
+    # 1-2. The same workload through four policies — including gang
+    # scheduling, which runs on its own time-slicing simulator but plugs into
+    # the same entrypoint.  workers=2 fans the runs out over processes.
+    scenarios = [
+        base.with_(policy=policy)
+        for policy in ("fcfs", "easy", "conservative", "gang:slots=5")
+    ]
+    results = run_many(scenarios, workers=2)
 
-    # 2. Persist it as an SWF file and verify the round trip + consistency rules.
-    path = Path(tempfile.gettempdir()) / "lublin99.swf"
-    write_swf(workload, path)
-    loaded = parse_swf(path)
-    report = validate(loaded)
-    print(f"wrote {path} — validation: {report.summary()}")
-
-    # 3. Replay it through three scheduling policies.
-    reports = []
-    for scheduler in (FCFSScheduler(), EasyBackfillScheduler(), ConservativeBackfillScheduler()):
-        result = simulate(loaded, scheduler, machine_size=machine_size)
-        reports.append(compute_metrics(result))
-
-    # 4. Report the standard metrics.
-    print()
-    print(format_table([r.as_dict() for r in reports]))
+    # 3. Report the standard metrics.
+    print(format_table([r.row() for r in results]))
+    reports = [r.report for r in results[:3]]  # rank the space-sharing trio
     print()
     print("ranking by mean response time :", " > ".join(rank_schedulers(reports, metric="mean_response")))
     print("ranking by bounded slowdown   :", " > ".join(rank_schedulers(reports, metric="mean_bounded_slowdown")))
     print("ranking by utilization        :", " > ".join(rank_schedulers(reports, metric="utilization")))
+
+    # 4. Every scenario round-trips through JSON exactly.
+    blob = json.dumps(scenarios[1].to_dict(), indent=2)
+    assert Scenario.from_dict(json.loads(blob)) == scenarios[1]
+    print()
+    print("scenario as JSON (feed this to `python -m repro.cli run`):")
+    print(blob)
 
 
 if __name__ == "__main__":

@@ -7,6 +7,8 @@ of Parallel Job Schedulers" (IPPS/SPDP JSSPP 1999).
 Top-level convenience imports cover the most common entry points; the
 subpackages hold the full API:
 
+* :mod:`repro.api` — the canonical front door: registries, spec strings,
+  :class:`Scenario`, and the unified :func:`run` / :func:`run_many`,
 * :mod:`repro.core` — the SWF and outage-log standards,
 * :mod:`repro.workloads` — workload models (rigid, flexible, sessions),
 * :mod:`repro.schedulers` — machine-scheduling policies,
@@ -18,6 +20,15 @@ subpackages hold the full API:
 * :mod:`repro.experiments` — the E1..E10 experiment harnesses.
 """
 
+from repro.api.registry import (
+    make_model,
+    make_scheduler,
+    model_names,
+    parse_spec,
+    scheduler_names,
+)
+from repro.api.scenario import Scenario
+from repro.api.runner import ScenarioResult, run, run_many
 from repro.core.swf import (
     SWFHeader,
     SWFJob,
@@ -47,9 +58,18 @@ from repro.workloads import (
     UniformModel,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "run",
+    "run_many",
+    "make_scheduler",
+    "make_model",
+    "scheduler_names",
+    "model_names",
+    "parse_spec",
     "SWFHeader",
     "SWFJob",
     "Workload",

@@ -1,0 +1,87 @@
+"""The canonical public surface: registries, spec strings, scenarios, run().
+
+Everything an evaluation needs is reachable from here::
+
+    from repro.api import Scenario, run, run_many
+
+    result = run(Scenario(workload="lublin99:jobs=2000,seed=1",
+                          policy="easy", machine_size=128, load=0.7))
+    print(result.report.mean_bounded_slowdown)
+
+Attributes are loaded lazily (PEP 562) so that low-level modules — scheduler
+and workload definitions register themselves via
+:mod:`repro.api.registry` at import time — can import this package without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    # registry + specs
+    "Registry",
+    "RegistryError",
+    "UnknownNameError",
+    "SpecError",
+    "parse_spec",
+    "format_spec",
+    "scheduler_registry",
+    "model_registry",
+    "metric_registry",
+    "register_scheduler",
+    "register_model",
+    "register_metric",
+    "make_scheduler",
+    "make_model",
+    "get_metric",
+    "scheduler_names",
+    "model_names",
+    "metric_names",
+    # scenarios + running
+    "Scenario",
+    "ScenarioResult",
+    "GridPolicy",
+    "run",
+    "run_many",
+    "resolve_workload",
+]
+
+_REGISTRY_NAMES = {
+    "Registry",
+    "RegistryError",
+    "UnknownNameError",
+    "SpecError",
+    "parse_spec",
+    "format_spec",
+    "scheduler_registry",
+    "model_registry",
+    "metric_registry",
+    "register_scheduler",
+    "register_model",
+    "register_metric",
+    "make_scheduler",
+    "make_model",
+    "get_metric",
+    "scheduler_names",
+    "model_names",
+    "metric_names",
+}
+_SCENARIO_NAMES = {"Scenario"}
+_RUNNER_NAMES = {"ScenarioResult", "GridPolicy", "run", "run_many", "resolve_workload"}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _REGISTRY_NAMES:
+        from repro.api import registry as module
+    elif name in _SCENARIO_NAMES:
+        from repro.api import scenario as module
+    elif name in _RUNNER_NAMES:
+        from repro.api import runner as module
+    else:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(module, name)
+
+
+def __dir__() -> list:
+    return sorted(__all__)

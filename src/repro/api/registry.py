@@ -1,0 +1,279 @@
+"""Registries and spec strings: every policy, model, and metric by name.
+
+The paper's methodology is only a *standard* if every experiment can name its
+ingredients the same way.  This module provides the naming layer:
+
+* three :class:`Registry` instances — schedulers, workload models, metrics —
+  populated by decorator registration at class-definition time
+  (``@register_scheduler("easy")``, ``@register_model("lublin99")``,
+  ``@register_metric("mean_wait")``);
+* **spec strings**, the one-line constructor syntax used by the CLI, the
+  :class:`~repro.api.scenario.Scenario` dataclass, and config files:
+  ``"easy"``, ``"sjf:strict=true"``, ``"gang:slots=3,overhead=0.1"``,
+  ``"lublin99:jobs=5000,seed=1"``.  ``name:key=value,key=value`` with values
+  coerced to int/float/bool/None where they parse as such;
+* lookup with *did-you-mean* suggestions, so a typo in a sweep config fails
+  with ``unknown scheduler 'easyy'; did you mean 'easy'?`` instead of a bare
+  :class:`KeyError` three stack frames deep in a worker process.
+
+Registration happens when the defining module is imported; the registries
+lazily import the standard rosters (:mod:`repro.schedulers`,
+:mod:`repro.workloads`, :mod:`repro.metrics`, :mod:`repro.api.runner`) on
+first lookup, so ``make_scheduler("easy")`` works without any prior import
+ceremony while plugin packages can still add entries of their own.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Registry",
+    "RegistryError",
+    "UnknownNameError",
+    "SpecError",
+    "parse_spec",
+    "format_spec",
+    "scheduler_registry",
+    "model_registry",
+    "metric_registry",
+    "register_scheduler",
+    "register_model",
+    "register_metric",
+    "make_scheduler",
+    "make_model",
+    "get_metric",
+    "scheduler_names",
+    "model_names",
+    "metric_names",
+]
+
+
+class RegistryError(Exception):
+    """Base class for registry and spec-string errors."""
+
+
+class UnknownNameError(RegistryError, KeyError):
+    """A name was looked up that no entry was registered under."""
+
+    def __init__(self, kind: str, name: str, known: List[str]) -> None:
+        self.kind = kind
+        self.name = name
+        self.known = sorted(known)
+        message = f"unknown {kind} {name!r}"
+        suggestions = difflib.get_close_matches(name, self.known, n=3, cutoff=0.5)
+        if suggestions:
+            quoted = ", ".join(repr(s) for s in suggestions)
+            message += f"; did you mean {quoted}?"
+        elif self.known:
+            message += f" (known: {', '.join(self.known)})"
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:  # KeyError would repr() the message otherwise
+        return self.message
+
+    def __reduce__(self):
+        # Default pickling would replay __init__ with the formatted message;
+        # round-trip the real arguments so multiprocessing workers can raise
+        # this across the process boundary (a worker exception that fails to
+        # unpickle hangs the parent's Pool.map forever).
+        return (UnknownNameError, (self.kind, self.name, self.known))
+
+
+class SpecError(RegistryError, ValueError):
+    """A spec string could not be parsed or applied to its factory."""
+
+
+# ----------------------------------------------------------------------
+# spec strings
+# ----------------------------------------------------------------------
+def _coerce(text: str) -> Any:
+    """Coerce a spec value: int, float, bool, None, else the raw string."""
+    lowered = text.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split ``"name:key=value,key=value"`` into ``(name, kwargs)``.
+
+    Keys are normalized to identifiers (``-`` becomes ``_``); values are
+    coerced to int/float/bool/None where they parse as such.  A bare name
+    parses to an empty kwargs dict.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise SpecError(f"empty or non-string spec: {spec!r}")
+    name, _, rest = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise SpecError(f"spec {spec!r} has no name before ':'")
+    kwargs: Dict[str, Any] = {}
+    if rest.strip():
+        for part in rest.split(","):
+            key, eq, value = part.partition("=")
+            key = key.strip().replace("-", "_")
+            if not eq or not key:
+                raise SpecError(
+                    f"spec {spec!r}: expected 'key=value' but got {part.strip()!r}"
+                )
+            kwargs[key] = _coerce(value.strip())
+    return name, kwargs
+
+
+def format_spec(name: str, kwargs: Optional[Dict[str, Any]] = None) -> str:
+    """Inverse of :func:`parse_spec` (for round-tripping scenarios to files)."""
+    if not kwargs:
+        return name
+    parts = ",".join(f"{key}={value}" for key, value in sorted(kwargs.items()))
+    return f"{name}:{parts}"
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+class Registry:
+    """Name -> factory mapping with decorator registration and spec lookup."""
+
+    def __init__(self, kind: str, populate_modules: Tuple[str, ...] = ()) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Callable[..., Any]] = {}
+        self._populate_modules = populate_modules
+        self._populated = not populate_modules
+
+    def _populate(self) -> None:
+        """Import the standard modules whose definitions self-register."""
+        if self._populated:
+            return
+        self._populated = True
+        for module in self._populate_modules:
+            importlib.import_module(module)
+
+    def register(self, *names: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering a factory under one or more names.
+
+        The first name is canonical; the rest are aliases.  Registering a
+        name twice raises, so two plugins cannot silently shadow each other.
+        """
+        if not names:
+            raise RegistryError(f"{self.kind} registration needs at least one name")
+
+        def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+            for name in names:
+                if name in self._entries and self._entries[name] is not factory:
+                    raise RegistryError(
+                        f"{self.kind} {name!r} is already registered "
+                        f"({self._entries[name]!r})"
+                    )
+                self._entries[name] = factory
+            return factory
+
+        return decorator
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The factory registered under ``name`` (with did-you-mean on miss)."""
+        self._populate()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownNameError(self.kind, name, list(self._entries)) from None
+
+    def create(self, spec: str, **defaults: Any) -> Any:
+        """Instantiate from a spec string; ``defaults`` yield to spec kwargs."""
+        name, kwargs = parse_spec(spec)
+        factory = self.get(name)
+        merged = {**defaults, **kwargs}
+        try:
+            return factory(**merged)
+        except TypeError as exc:
+            raise SpecError(
+                f"{self.kind} spec {spec!r} does not match "
+                f"{getattr(factory, '__name__', factory)!r}: {exc}"
+            ) from exc
+
+    def names(self) -> List[str]:
+        """All registered names, canonical and alias, sorted."""
+        self._populate()
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        self._populate()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._populate()
+        return len(self._entries)
+
+
+#: Scheduling policies (space-sharing, gang, grid); factories are classes
+#: whose ``mode`` attribute tells :func:`repro.api.runner.run` which
+#: simulator to dispatch to.
+scheduler_registry = Registry(
+    "scheduler", populate_modules=("repro.schedulers", "repro.api.runner")
+)
+
+#: Synthetic workload models (rigid, flexible, session-structured).
+model_registry = Registry("workload model", populate_modules=("repro.workloads",))
+
+#: Named metric extractors: callables of a MetricsReport returning a float.
+metric_registry = Registry("metric", populate_modules=("repro.metrics",))
+
+
+def register_scheduler(*names: str):
+    """Register a scheduling policy class under one or more names."""
+    return scheduler_registry.register(*names)
+
+
+def register_model(*names: str):
+    """Register a workload model class under one or more names."""
+    return model_registry.register(*names)
+
+
+def register_metric(*names: str):
+    """Register a metric extractor (MetricsReport -> float)."""
+    return metric_registry.register(*names)
+
+
+def make_scheduler(spec: str, **defaults: Any) -> Any:
+    """Build a policy instance from a spec string (``"sjf:strict=true"``)."""
+    return scheduler_registry.create(spec, **defaults)
+
+
+def make_model(spec: str, **defaults: Any) -> Any:
+    """Build a workload model instance from a spec string."""
+    return model_registry.create(spec, **defaults)
+
+
+def get_metric(name: str) -> Callable[..., float]:
+    """The metric extractor registered under ``name``."""
+    return metric_registry.get(name)
+
+
+def scheduler_names() -> List[str]:
+    return scheduler_registry.names()
+
+
+def model_names() -> List[str]:
+    return model_registry.names()
+
+
+def metric_names() -> List[str]:
+    return metric_registry.names()

@@ -1,0 +1,97 @@
+"""The Scenario: one declarative description of "run workload W through policy P under conditions C".
+
+Everything the evaluation methodology varies — workload source, machine
+size, policy, outages, feedback replay, load scaling, the bounded-slowdown
+threshold, the seed — lives in one frozen dataclass that round-trips through
+JSON exactly.  A sweep is a list of scenarios; a config file is a list of
+scenario dicts; a distributed run is the same list shipped to workers.
+
+The ``workload`` field is a spec string naming either
+
+* a registered workload model (``"lublin99"``, ``"lublin99:jobs=5000,seed=1"``),
+* a synthetic archive (``"ctc-sp2"``), or
+* an SWF trace on disk (``"swf:path/to/trace.swf"``, or any string that looks
+  like a path — contains a separator or ends in ``.swf``).
+
+The ``policy`` field is a scheduler spec string (``"easy"``, ``"sjf:strict=true"``,
+``"gang:slots=3"``, ``"grid:meta=earliest-start,reservations=true"``); the
+policy's registered class declares which simulator :func:`repro.api.runner.run`
+dispatches to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One evaluation run, fully described by JSON-serializable values."""
+
+    #: workload spec string: model/archive spec or an SWF trace path
+    workload: str
+    #: scheduler spec string; the registered class declares the simulator mode
+    policy: str = "easy"
+    #: machine size (defaults to the workload header's MaxNodes)
+    machine_size: Optional[int] = None
+    #: jobs to generate when the workload is a model or archive
+    jobs: int = 2000
+    #: target offered load; the workload is rescaled to hit it (None = as-is)
+    load: Optional[float] = None
+    #: seed for workload generation (models and archives)
+    seed: Optional[int] = None
+    #: path to a standard-format outage log (None = no outages)
+    outages: Optional[str] = None
+    #: closed replay: dependent jobs are submitted think-time seconds after
+    #: their predecessor completes instead of at their absolute submit time
+    honor_dependencies: bool = False
+    #: whether jobs killed by an outage are re-queued
+    restart_failed_jobs: bool = True
+    #: restart budget per job before it is recorded as killed
+    max_restarts: int = 10
+    #: bounded-slowdown interactivity threshold (seconds)
+    tau: float = 10.0
+    #: optional human-readable label used in tables (defaults to the specs)
+    name: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        """Table label: the explicit name, or ``workload/policy``."""
+        return self.name if self.name else f"{self.workload}/{self.policy}"
+
+    def with_(self, **changes: Any) -> "Scenario":
+        """A copy with the given fields replaced (sweep construction helper)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-serializable dict; inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
+        """Rebuild from :meth:`to_dict` output; unknown keys raise."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        if "workload" not in data:
+            raise ValueError("a scenario requires a 'workload' spec")
+        return cls(**data)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))

@@ -2,17 +2,22 @@
 
 The library is primarily used as an API, but the workflows the standard is
 meant to ease — validating a trace, summarizing it, converting a raw log,
-generating model workloads and outage logs, running an experiment — are all
-available from the shell::
+generating model workloads and outage logs, running scenarios, running an
+experiment — are all available from the shell::
 
     python -m repro.cli validate  trace.swf
     python -m repro.cli stats     trace.swf
     python -m repro.cli convert   accounting.csv converted.swf --computer "IBM SP2"
     python -m repro.cli generate  lublin99 out.swf --jobs 5000 --machine-size 128 --load 0.7
     python -m repro.cli outages   128 2592000 outages.log --seed 1
-    python -m repro.cli simulate  trace.swf --scheduler easy --machine-size 128
+    python -m repro.cli simulate  trace.swf --policy easy
+    python -m repro.cli simulate  lublin99:jobs=2000,seed=1 --policy gang:slots=3 --load 0.8
+    python -m repro.cli run       scenarios.json --workers 4
     python -m repro.cli experiment e03
 
+Policies and workload models are resolved through the registries in
+:mod:`repro.api` — every registered name is reachable, and spec strings
+(``sjf:strict=true``) pass constructor arguments straight from the shell.
 Every command prints a short human-readable report and exits non-zero on
 failure (e.g. an unclean trace), so the tools compose with shell scripts.
 """
@@ -20,9 +25,18 @@ failure (e.g. an unclean trace), so the tools compose with shell scripts.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro.api.registry import (
+    RegistryError,
+    metric_registry,
+    model_names,
+    scheduler_names,
+)
+from repro.api.runner import resolve_workload, run, run_many
+from repro.api.scenario import Scenario
 from repro.core.outage import OutageModel, generate_outages, write_outage_log
 from repro.core.swf import (
     convert_accounting_csv,
@@ -31,45 +45,10 @@ from repro.core.swf import (
     validate,
     write_swf,
 )
-from repro.data import ARCHIVES, archive_names, synthetic_archive
-from repro.evaluation import format_table, simulate
-from repro.metrics import compute_metrics
-from repro.schedulers import (
-    ConservativeBackfillScheduler,
-    EasyBackfillScheduler,
-    FCFSScheduler,
-    FirstFitScheduler,
-    ShortestJobFirstScheduler,
-)
-from repro.workloads import (
-    Downey97Model,
-    Feitelson96Model,
-    Jann97Model,
-    Lublin99Model,
-    SessionModel,
-    UniformModel,
-)
+from repro.data import archive_names
+from repro.evaluation import format_table
 
 __all__ = ["main", "build_parser"]
-
-#: Workload models reachable from ``generate``.
-MODELS = {
-    "feitelson96": Feitelson96Model,
-    "jann97": Jann97Model,
-    "lublin99": Lublin99Model,
-    "downey97": Downey97Model,
-    "uniform": UniformModel,
-    "sessions": SessionModel,
-}
-
-#: Scheduling policies reachable from ``simulate``.
-SCHEDULERS = {
-    "fcfs": FCFSScheduler,
-    "first-fit": FirstFitScheduler,
-    "sjf": ShortestJobFirstScheduler,
-    "easy": EasyBackfillScheduler,
-    "conservative": ConservativeBackfillScheduler,
-}
 
 #: Experiments reachable from ``experiment``.
 EXPERIMENTS = (
@@ -101,7 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_convert.add_argument("--max-nodes", type=int, default=None)
 
     p_generate = sub.add_parser("generate", help="generate a synthetic workload (model or archive)")
-    p_generate.add_argument("source", help=f"model ({', '.join(MODELS)}) or archive ({', '.join(archive_names())})")
+    p_generate.add_argument(
+        "source",
+        help=f"model spec ({', '.join(model_names())}) or archive ({', '.join(archive_names())})",
+    )
     p_generate.add_argument("output", help="path of the SWF file to write")
     p_generate.add_argument("--jobs", type=int, default=5000)
     p_generate.add_argument("--machine-size", type=int, default=128)
@@ -115,11 +97,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_outages.add_argument("--mtbf-days", type=float, default=7.0)
     p_outages.add_argument("--seed", type=int, default=None)
 
-    p_simulate = sub.add_parser("simulate", help="replay an SWF file through a scheduler")
-    p_simulate.add_argument("trace", help="path to the SWF file")
-    p_simulate.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="easy")
+    p_simulate = sub.add_parser(
+        "simulate", help="replay a workload (SWF path or model spec) through a policy"
+    )
+    p_simulate.add_argument(
+        "workload", help="path to an SWF file, or a workload spec like lublin99:jobs=2000"
+    )
+    p_simulate.add_argument(
+        "--policy", "--scheduler", dest="policy", default="easy",
+        help=f"policy spec; registered: {', '.join(scheduler_names())}",
+    )
     p_simulate.add_argument("--machine-size", type=int, default=None)
+    p_simulate.add_argument("--jobs", type=int, default=2000, help="jobs when generating from a model")
+    p_simulate.add_argument("--load", type=float, default=None, help="rescale to this offered load")
+    p_simulate.add_argument("--seed", type=int, default=None)
+    p_simulate.add_argument("--outages", default=None, help="path to a standard outage log")
+    p_simulate.add_argument(
+        "--feedback", action="store_true",
+        help="closed replay: honor the trace's job dependencies and think times",
+    )
+    p_simulate.add_argument("--max-restarts", type=int, default=10)
     p_simulate.add_argument("--tau", type=float, default=10.0, help="bounded-slowdown threshold")
+    p_simulate.add_argument(
+        "--metrics", default=None,
+        help="comma-separated metric columns to print (default: the standard table)",
+    )
+
+    p_run = sub.add_parser(
+        "run", help="run scenarios from a JSON file (one object or a list)"
+    )
+    p_run.add_argument("scenarios", help="path to a JSON scenario file")
+    p_run.add_argument("--workers", type=int, default=None, help="fan out over N processes")
 
     p_experiment = sub.add_parser("experiment", help="run one of the E1..E10 experiment harnesses")
     p_experiment.add_argument("which", choices=EXPERIMENTS)
@@ -164,17 +172,19 @@ def _cmd_convert(args) -> int:
 
 
 def _cmd_generate(args) -> int:
-    if args.source in ARCHIVES:
-        workload = synthetic_archive(args.source, jobs=args.jobs, seed=args.seed)
-    elif args.source in MODELS:
-        model = MODELS[args.source](machine_size=args.machine_size)
-        if args.load is not None:
-            workload = model.generate_with_load(args.jobs, args.load, seed=args.seed)
-        else:
-            workload = model.generate(args.jobs, seed=args.seed)
-    else:
-        print(f"unknown source {args.source!r}; models: {sorted(MODELS)}, archives: {archive_names()}",
-              file=sys.stderr)
+    # The same resolution path `simulate` and `run` use: model specs
+    # (including jobs=/seed= kwargs), archive names, and load rescaling.
+    scenario = Scenario(
+        workload=args.source,
+        machine_size=args.machine_size,
+        jobs=args.jobs,
+        load=args.load,
+        seed=args.seed,
+    )
+    try:
+        workload = resolve_workload(scenario)
+    except (RegistryError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
         return 2
     write_swf(workload, args.output)
     print(
@@ -199,12 +209,57 @@ def _cmd_outages(args) -> int:
     return 0
 
 
+def _print_reports(results, metrics: Optional[str]) -> None:
+    if metrics:
+        names = [m.strip() for m in metrics.split(",") if m.strip()]
+        extractors = [(name, metric_registry.get(name)) for name in names]
+        rows = [
+            {
+                "scenario": sr.scenario.label,
+                "scheduler": sr.result.scheduler_name,
+                **{name: round(fn(sr.report), 4) for name, fn in extractors},
+            }
+            for sr in results
+        ]
+    else:
+        rows = [sr.row() for sr in results]
+    print(format_table(rows))
+
+
 def _cmd_simulate(args) -> int:
-    workload = parse_swf(args.trace)
-    scheduler = SCHEDULERS[args.scheduler]()
-    result = simulate(workload, scheduler, machine_size=args.machine_size)
-    report = compute_metrics(result, tau=args.tau)
-    print(format_table([report.as_dict()]))
+    scenario = Scenario(
+        workload=args.workload,
+        policy=args.policy,
+        machine_size=args.machine_size,
+        jobs=args.jobs,
+        load=args.load,
+        seed=args.seed,
+        outages=args.outages,
+        honor_dependencies=args.feedback,
+        max_restarts=args.max_restarts,
+        tau=args.tau,
+    )
+    try:
+        result = run(scenario)
+        _print_reports([result], args.metrics)
+    except (RegistryError, ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_run(args) -> int:
+    try:
+        with open(args.scenarios, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if isinstance(data, dict):
+            data = [data]
+        scenarios = [Scenario.from_dict(item) for item in data]
+        results = run_many(scenarios, workers=args.workers)
+    except (RegistryError, ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    _print_reports(results, None)
     return 0
 
 
@@ -235,6 +290,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "outages": _cmd_outages,
     "simulate": _cmd_simulate,
+    "run": _cmd_run,
     "experiment": _cmd_experiment,
 }
 

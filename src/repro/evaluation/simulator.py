@@ -87,6 +87,12 @@ class MachineSimulation:
         self._waiting_on: Dict[int, List[Tuple[JobRequest, int]]] = {}
         self._released: set = set()
         self._restart_counts: Dict[int, int] = {}
+        # Announced-outage cache for _capacity_fn: simulation time only moves
+        # forward, so records are consumed from an announce-time-sorted list
+        # exactly once instead of rescanning the whole log every pass.
+        self._by_announce = sorted(self.outages, key=lambda r: r.announced_time)
+        self._announced: List = []
+        self._announce_index = 0
 
     # ------------------------------------------------------------------
     # setup
@@ -237,7 +243,13 @@ class MachineSimulation:
     def _capacity_fn(self):
         """Announced-capacity function for outage-aware policies."""
         now = self.sim.now
-        announced = [r for r in self.outages if r.announced_time <= now]
+        while (
+            self._announce_index < len(self._by_announce)
+            and self._by_announce[self._announce_index].announced_time <= now
+        ):
+            self._announced.append(self._by_announce[self._announce_index])
+            self._announce_index += 1
+        announced = self._announced
         machine_size = self.machine.size
 
         def min_capacity(start: float, end: float) -> int:
@@ -357,6 +369,7 @@ def simulate(
     outages: Optional[OutageLog] = None,
     honor_dependencies: bool = False,
     restart_failed_jobs: bool = True,
+    max_restarts: int = 10,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`MachineSimulation` and run it."""
     return MachineSimulation(
@@ -366,4 +379,5 @@ def simulate(
         outages=outages,
         honor_dependencies=honor_dependencies,
         restart_failed_jobs=restart_failed_jobs,
+        max_restarts=max_restarts,
     ).run()

@@ -3,19 +3,25 @@
 These are the loops every experiment and example repeats: run the same
 workload through several policies, or the same policy through the same
 workload re-scaled to several offered loads, and tabulate the metric reports.
+
+Both drivers are thin wrappers over the unified scenario runner
+(:func:`repro.api.runner.run_many`): each cell of a comparison is one
+:class:`~repro.api.scenario.Scenario`, policies are named by spec strings
+(``"easy"``, ``"sjf:strict=true"``, ``"gang:slots=3"``), and passing
+``workers=N`` fans the cells out over processes.  Policy *instances* are
+still accepted for objects that cannot be built from a spec (a moldable-jobs
+table, a hand-constructed PriorityScheduler); those cells run in-process.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.outage.log import OutageLog
 from repro.core.swf.workload import Workload
 from repro.evaluation.results import SimulationResult
-from repro.evaluation.simulator import simulate
-from repro.metrics.basic import MetricsReport, compute_metrics
-from repro.schedulers.base import Scheduler
+from repro.metrics.basic import MetricsReport
 
 __all__ = ["ComparisonRow", "compare_schedulers", "load_sweep", "format_table"]
 
@@ -30,41 +36,105 @@ class ComparisonRow:
     report: MetricsReport
 
 
+def _scenarios_and_overrides(
+    policies: Sequence[Union[str, object]],
+    workload: Workload,
+    machine_size: Optional[int],
+    outages: Optional[OutageLog],
+    honor_dependencies: bool,
+    tau: float,
+    load: Optional[float] = None,
+):
+    """Build one scenario per policy, with instance policies kept as overrides."""
+    from repro.api.scenario import Scenario
+
+    scenarios, instances = [], []
+    for policy in policies:
+        if isinstance(policy, str):
+            spec, instance = policy, None
+        else:
+            spec, instance = getattr(policy, "name", "custom"), policy
+        scenarios.append(
+            Scenario(
+                workload=workload.name or "workload",
+                policy=spec,
+                machine_size=machine_size,
+                load=load,
+                honor_dependencies=honor_dependencies,
+                tau=tau,
+            )
+        )
+        instances.append(instance)
+    return scenarios, instances
+
+
+def _run_cells(scenarios, instances, workloads, outages, workers):
+    """Run every cell, fanning out the spec-string cells when workers are given.
+
+    Policy instances may carry unpicklable state (priority lambdas,
+    moldable-job tables), so instance cells always run in-process — but only
+    those cells: spec-string cells in the same sweep still go through
+    ``run_many`` and keep their parallelism.
+    """
+    from repro.api.runner import run, run_many
+
+    results = [None] * len(scenarios)
+    spec_cells = [i for i, instance in enumerate(instances) if instance is None]
+    if spec_cells:
+        spec_results = run_many(
+            [scenarios[i] for i in spec_cells],
+            workers=workers,
+            workloads=[workloads[i] for i in spec_cells],
+            outages=[outages[i] for i in spec_cells],
+        )
+        for i, scenario_result in zip(spec_cells, spec_results):
+            results[i] = scenario_result
+    for i, instance in enumerate(instances):
+        if instance is not None:
+            results[i] = run(
+                scenarios[i], workload=workloads[i], policy=instance, outages=outages[i]
+            )
+    return results
+
+
 def compare_schedulers(
     workload: Workload,
-    schedulers: Sequence[Scheduler],
+    schedulers: Sequence[Union[str, object]],
     machine_size: Optional[int] = None,
     outages: Optional[OutageLog] = None,
     honor_dependencies: bool = False,
     tau: float = 10.0,
+    workers: Optional[int] = None,
 ) -> List[ComparisonRow]:
-    """Run the same workload through each policy and collect metric reports."""
-    rows: List[ComparisonRow] = []
-    for scheduler in schedulers:
-        result = simulate(
-            workload,
-            scheduler,
-            machine_size=machine_size,
-            outages=outages,
-            honor_dependencies=honor_dependencies,
+    """Run the same workload through each policy and collect metric reports.
+
+    ``schedulers`` may mix policy spec strings and policy instances.
+    """
+    scenarios, instances = _scenarios_and_overrides(
+        schedulers, workload, machine_size, outages, honor_dependencies, tau
+    )
+    count = len(scenarios)
+    results = _run_cells(scenarios, instances, [workload] * count, [outages] * count, workers)
+    return [
+        ComparisonRow(
+            scheduler=sr.result.scheduler_name,
+            label=workload.name,
+            result=sr.result,
+            report=sr.report,
         )
-        rows.append(
-            ComparisonRow(
-                scheduler=scheduler.name,
-                label=workload.name,
-                result=result,
-                report=compute_metrics(result, tau=tau),
-            )
-        )
-    return rows
+        for sr in results
+    ]
 
 
 def load_sweep(
     workload: Workload,
-    scheduler_factory,
+    policy: Union[str, object],
     loads: Sequence[float],
     machine_size: Optional[int] = None,
     tau: float = 10.0,
+    outages: Optional[OutageLog] = None,
+    honor_dependencies: bool = False,
+    workers: Optional[int] = None,
 ) -> List[ComparisonRow]:
     """Evaluate a policy across offered loads by re-scaling the workload.
 
@@ -72,30 +142,38 @@ def load_sweep(
     ----------
     workload:
         Base workload; its own offered load is used as the reference point.
-    scheduler_factory:
-        Zero-argument callable producing a fresh policy instance per run
-        (policies may carry per-run state).
+    policy:
+        Policy spec string (``"easy"``), or — for policies a spec cannot
+        express — a zero-argument factory producing a fresh instance per run.
     loads:
         Target offered loads (e.g. ``[0.5, 0.6, ..., 0.9]``).
+    outages, honor_dependencies:
+        Forwarded to every run, so a sweep can reproduce the paper's outage
+        and closed-feedback conditions.
     """
     base_load = workload.offered_load(machine_size)
     if base_load <= 0:
         raise ValueError("the base workload has no measurable offered load")
-    rows: List[ComparisonRow] = []
-    for target in loads:
-        factor = target / base_load
-        scaled = workload.scale_load(factor, name=f"{workload.name}@{target:.2f}")
-        scheduler = scheduler_factory()
-        result = simulate(scaled, scheduler, machine_size=machine_size)
-        rows.append(
-            ComparisonRow(
-                scheduler=scheduler.name,
-                label=f"load={target:.2f}",
-                result=result,
-                report=compute_metrics(result, tau=tau),
-            )
+    policies = [policy if isinstance(policy, str) else policy() for _ in loads]
+    scenarios, instances = [], []
+    for target, cell_policy in zip(loads, policies):
+        cell_scenarios, cell_instances = _scenarios_and_overrides(
+            [cell_policy], workload, machine_size, outages,
+            honor_dependencies, tau, load=float(target),
         )
-    return rows
+        scenarios.extend(cell_scenarios)
+        instances.extend(cell_instances)
+    count = len(scenarios)
+    results = _run_cells(scenarios, instances, [workload] * count, [outages] * count, workers)
+    return [
+        ComparisonRow(
+            scheduler=sr.result.scheduler_name,
+            label=f"load={target:.2f}",
+            result=sr.result,
+            report=sr.report,
+        )
+        for target, sr in zip(loads, results)
+    ]
 
 
 def format_table(rows: Iterable[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:

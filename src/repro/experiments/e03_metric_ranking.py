@@ -19,16 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from repro.api import make_model
 from repro.evaluation import compare_schedulers
 from repro.metrics import MetricsReport, kendall_tau, rank_schedulers
-from repro.schedulers import (
-    ConservativeBackfillScheduler,
-    EasyBackfillScheduler,
-    FCFSScheduler,
-)
-from repro.workloads import Lublin99Model
 
 __all__ = ["MetricRankingResult", "run"]
+
+#: The policy roster, named through the scheduler registry.
+POLICIES = ("fcfs", "easy", "conservative")
 
 
 @dataclass
@@ -78,7 +76,7 @@ def run(
     tau: float = 10.0,
 ) -> MetricRankingResult:
     """Sweep offered load and compare the three policies under two metrics."""
-    model = Lublin99Model(machine_size=machine_size)
+    model = make_model("lublin99", machine_size=machine_size)
     base = model.generate(jobs, seed=seed)
     base_load = base.offered_load(machine_size)
 
@@ -90,7 +88,7 @@ def run(
         scaled = base.scale_load(load / base_load, name=f"lublin@{load:.2f}")
         rows = compare_schedulers(
             scaled,
-            [FCFSScheduler(), EasyBackfillScheduler(), ConservativeBackfillScheduler()],
+            list(POLICIES),
             machine_size=machine_size,
             tau=tau,
         )

@@ -16,18 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.evaluation import compare_schedulers
+from repro.api import Scenario, resolve_workload, run as run_scenario
 from repro.metrics import MetricsReport, ObjectiveFunction, rank_schedulers
-from repro.schedulers import (
-    ConservativeBackfillScheduler,
-    EasyBackfillScheduler,
-    FCFSScheduler,
-    FirstFitScheduler,
-    ShortestJobFirstScheduler,
-)
-from repro.workloads import Lublin99Model
 
 __all__ = ["ObjectiveWeightsResult", "run", "DEFAULT_WEIGHTINGS"]
+
+#: The policy roster, named through the scheduler registry.
+POLICIES = ("fcfs", "first-fit", "sjf", "easy", "conservative")
 
 #: (label, weights) pairs swept by default: from purely user-centric to
 #: purely system-centric.
@@ -76,21 +71,15 @@ def run(
     seed: int = 4,
 ) -> ObjectiveWeightsResult:
     """Evaluate the policy roster once, then rank it under each weighting."""
-    workload = Lublin99Model(machine_size=machine_size).generate_with_load(
-        jobs, load, seed=seed
+    base_scenario = Scenario(
+        workload=f"lublin99:jobs={jobs},seed={seed}", machine_size=machine_size, load=load
     )
-    rows = compare_schedulers(
-        workload,
-        [
-            FCFSScheduler(),
-            FirstFitScheduler(),
-            ShortestJobFirstScheduler(),
-            EasyBackfillScheduler(),
-            ConservativeBackfillScheduler(),
-        ],
-        machine_size=machine_size,
-    )
-    reports = [row.report for row in rows]
+    workload = resolve_workload(base_scenario)
+    # load=None per run: the shared override is already rescaled to target.
+    reports = [
+        run_scenario(base_scenario.with_(policy=policy, load=None), workload=workload).report
+        for policy in POLICIES
+    ]
     # Normalize every objective to the FCFS baseline so weights are unitless.
     baseline = next(r for r in reports if r.scheduler == "fcfs")
     rankings: Dict[str, List[str]] = {}

@@ -24,11 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from repro.api import Scenario, make_model, run as run_scenario
 from repro.core.swf.feedback import sessions_of
-from repro.evaluation import simulate
-from repro.metrics import MetricsReport, compute_metrics
-from repro.schedulers import EasyBackfillScheduler
-from repro.workloads import Lublin99Model, SessionModel
+from repro.metrics import MetricsReport
 
 __all__ = ["FeedbackResult", "run"]
 
@@ -77,28 +75,24 @@ def run(
     seed: int = 5,
 ) -> FeedbackResult:
     """Replay the same session workload open and closed across a load sweep."""
-    model = SessionModel(
-        machine_size=machine_size,
-        job_model=Lublin99Model(machine_size=machine_size),
-        users=40,
-    )
+    model = make_model("sessions:users=40", machine_size=machine_size)
     base = model.generate(jobs, seed=seed)
-    base_load = base.offered_load(machine_size)
     sessions = sessions_of(base)
     dependent = sum(1 for job in base.summary_jobs() if job.has_dependency)
 
     open_reports: Dict[float, MetricsReport] = {}
     closed_reports: Dict[float, MetricsReport] = {}
     for load in loads:
-        scaled = base.scale_load(load / base_load, name=f"sessions@{load:.2f}")
-        open_result = simulate(
-            scaled, EasyBackfillScheduler(), machine_size=machine_size, honor_dependencies=False
+        scenario = Scenario(
+            workload=f"sessions:users=40,jobs={jobs},seed={seed}",
+            policy="easy",
+            machine_size=machine_size,
+            load=load,
         )
-        closed_result = simulate(
-            scaled, EasyBackfillScheduler(), machine_size=machine_size, honor_dependencies=True
-        )
-        open_reports[load] = compute_metrics(open_result)
-        closed_reports[load] = compute_metrics(closed_result)
+        open_reports[load] = run_scenario(scenario, workload=base).report
+        closed_reports[load] = run_scenario(
+            scenario.with_(honor_dependencies=True), workload=base
+        ).report
     return FeedbackResult(
         loads=list(loads),
         open_reports=open_reports,

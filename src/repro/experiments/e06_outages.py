@@ -28,11 +28,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.api import Scenario, run as run_scenario
 from repro.core.outage import OutageLog, OutageModel, generate_outages
-from repro.evaluation import simulate
-from repro.metrics import MetricsReport, compute_metrics
-from repro.schedulers import EasyBackfillScheduler
-from repro.workloads import Lublin99Model
+from repro.metrics import MetricsReport
 
 __all__ = ["OutageImpactResult", "run"]
 
@@ -68,7 +66,15 @@ def run(
     seed: int = 6,
 ) -> OutageImpactResult:
     """Compare scheduling with no outages, failures, and maintenance (blind vs aware)."""
-    workload = Lublin99Model(machine_size=machine_size).generate_with_load(jobs, load, seed=seed)
+    base_scenario = Scenario(
+        workload=f"lublin99:jobs={jobs},seed={seed}",
+        policy="easy",
+        machine_size=machine_size,
+        load=load,
+    )
+    from repro.api import resolve_workload
+
+    workload = resolve_workload(base_scenario)
     horizon = workload.span() + 24 * 3600
 
     failures = generate_outages(
@@ -104,15 +110,15 @@ def run(
     kills: Dict[str, int] = {}
     downtime: Dict[str, float] = {}
     for name, outages, aware in configurations:
-        scheduler = EasyBackfillScheduler(outage_aware=aware)
-        result = simulate(
-            workload,
-            scheduler,
-            machine_size=machine_size,
-            outages=outages,
-            restart_failed_jobs=True,
+        scenario = base_scenario.with_(
+            policy=f"easy:outage_aware={str(aware).lower()}", load=None
         )
-        reports[name] = compute_metrics(result)
+        # The outage logs are in-memory (keyed to this workload's horizon), so
+        # they ride along as an override rather than a path in the scenario;
+        # load=None because the shared workload is already rescaled to target.
+        scenario_result = run_scenario(scenario, workload=workload, outages=outages)
+        result = scenario_result.result
+        reports[name] = scenario_result.report
         kills[name] = result.outage_kills
         if outages is not None and result.makespan > 0:
             downtime[name] = outages.total_node_downtime() / (machine_size * result.makespan)

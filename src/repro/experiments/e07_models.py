@@ -25,20 +25,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.api import Scenario, model_registry, run as run_scenario
 from repro.core.swf import WorkloadStatistics, summarize
 from repro.data import synthetic_archive
-from repro.evaluation import simulate
-from repro.metrics import MetricsReport, compute_metrics
-from repro.schedulers import EasyBackfillScheduler
-from repro.workloads import (
-    Downey97Model,
-    Feitelson96Model,
-    Jann97Model,
-    Lublin99Model,
-    UniformModel,
-)
+from repro.metrics import MetricsReport
 
 __all__ = ["ModelComparisonResult", "run"]
+
+#: The rigid models compared against the archive reference, by registry name.
+MODEL_NAMES = ("feitelson96", "jann97", "lublin99", "downey97", "uniform")
 
 
 @dataclass
@@ -108,19 +103,19 @@ def run(
     reference_name = f"reference:{reference_archive}"
 
     workloads = {reference_name: reference}
-    for model_class in (Feitelson96Model, Jann97Model, Lublin99Model, Downey97Model, UniformModel):
-        model = model_class(machine_size=machine_size)
+    for model_name in MODEL_NAMES:
+        model = model_registry.create(model_name, machine_size=machine_size)
         workloads[model.name] = model.generate_with_load(jobs, load, seed=seed)
 
     statistics: Dict[str, WorkloadStatistics] = {}
     scheduling: Dict[str, MetricsReport] = {}
     distances: Dict[str, float] = {}
     reference_stats = summarize(reference, machine_size=machine_size)
+    scenario = Scenario(workload="(in-memory)", policy="easy", machine_size=machine_size)
     for name, workload in workloads.items():
         stats = summarize(workload, machine_size=machine_size)
         statistics[name] = stats
-        result = simulate(workload, EasyBackfillScheduler(), machine_size=machine_size)
-        scheduling[name] = compute_metrics(result)
+        scheduling[name] = run_scenario(scenario.with_(name=name), workload=workload).report
         distances[name] = _distance(stats, reference_stats)
     return ModelComparisonResult(
         names=list(workloads),

@@ -23,11 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.evaluation import simulate
-from repro.metrics import MetricsReport, compute_metrics
-from repro.schedulers import EasyBackfillScheduler, FCFSScheduler
+from repro.api import Scenario, make_model, run as run_scenario
+from repro.metrics import MetricsReport
 from repro.schedulers.moldable import MoldableScheduler
-from repro.workloads import Downey97Model
 
 __all__ = ["MoldableResult", "run"]
 
@@ -70,26 +68,31 @@ def run(
     seed: int = 8,
 ) -> MoldableResult:
     """Compare rigid FCFS, rigid EASY, and adaptive moldable scheduling."""
-    model = Downey97Model(machine_size=machine_size)
+    model = make_model("downey97", machine_size=machine_size)
     base, moldable_jobs = model.generate_moldable(jobs, seed=seed)
-    base_load = base.offered_load(machine_size)
 
     reports: Dict[float, Dict[str, MetricsReport]] = {}
     mean_allocation: Dict[float, float] = {}
     for load in loads:
-        scaled = base.scale_load(load / base_load, name=f"downey@{load:.2f}")
+        scenario = Scenario(
+            workload=f"downey97:jobs={jobs},seed={seed}",
+            machine_size=machine_size,
+            load=load,
+        )
         per_policy: Dict[str, MetricsReport] = {}
 
-        for scheduler in (FCFSScheduler(), EasyBackfillScheduler()):
-            result = simulate(scaled, scheduler, machine_size=machine_size)
-            per_policy[scheduler.name] = compute_metrics(result)
+        for policy in ("fcfs", "easy"):
+            sr = run_scenario(scenario.with_(policy=policy), workload=base)
+            per_policy[sr.result.scheduler_name] = sr.report
 
+        # The moldable-jobs table cannot be expressed as a spec string, so the
+        # adaptive policy rides along as an instance override.
         adaptive = MoldableScheduler(
             moldable_jobs, efficiency_threshold=efficiency_threshold
         )
-        result = simulate(scaled, adaptive, machine_size=machine_size)
-        per_policy[adaptive.name] = compute_metrics(result)
-        sizes = [j.processors for j in result.completed_jobs()]
+        sr = run_scenario(scenario.with_(policy="moldable"), workload=base, policy=adaptive)
+        per_policy[adaptive.name] = sr.report
+        sizes = [j.processors for j in sr.result.completed_jobs()]
         mean_allocation[load] = sum(sizes) / len(sizes) if sizes else 0.0
         reports[load] = per_policy
     return MoldableResult(

@@ -27,21 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.grid import (
-    CategoryMeanPredictor,
-    EarliestStartMetaScheduler,
-    GridResult,
-    GridSimulation,
-    LeastLoadedMetaScheduler,
-    MeanWaitPredictor,
-    ProfilePredictor,
-    Site,
-    generate_meta_jobs,
-    prediction_error_summary,
-)
+from repro.api import Scenario, run as run_scenario
+from repro.grid import GridResult, prediction_error_summary
 from repro.metrics import compute_metrics
-from repro.schedulers import EasyBackfillScheduler
-from repro.workloads import Lublin99Model
 
 __all__ = ["GridExperimentResult", "run"]
 
@@ -98,23 +86,6 @@ class GridExperimentResult:
         return rows
 
 
-def _make_sites(
-    site_count: int, machine_size: int, local_jobs: int, load: float, seed: int
-) -> List[Site]:
-    return [
-        Site(
-            name=f"site-{i + 1}",
-            machine_size=machine_size,
-            scheduler=EasyBackfillScheduler(outage_aware=True),
-            local_workload=Lublin99Model(machine_size=machine_size).generate_with_load(
-                local_jobs, load, seed=seed + i
-            ),
-            speed=1.0 + 0.1 * i,  # mild configuration heterogeneity (Section 4.1)
-        )
-        for i in range(site_count)
-    ]
-
-
 def run(
     sites: int = 4,
     machine_size: int = 128,
@@ -124,38 +95,34 @@ def run(
     coallocation_fraction: float = 0.3,
     seed: int = 9,
 ) -> GridExperimentResult:
-    """Run the four (meta-scheduler, reservations) configurations."""
-    meta_stream = generate_meta_jobs(
-        meta_jobs,
-        coallocation_fraction=coallocation_fraction,
-        max_components=min(3, sites),
-        max_component_processors=machine_size // 2,
-        seed=seed + 1000,
-    )
-    predictors = {
-        "mean-wait": MeanWaitPredictor,
-        "category-mean": CategoryMeanPredictor,
-        "profile": ProfilePredictor,
-    }
+    """Run the four (meta-scheduler, reservations) configurations.
 
-    configurations: List[Tuple[str, object, bool]] = [
-        ("least-loaded/no-reservations", LeastLoadedMetaScheduler(), False),
-        ("least-loaded/reservations", LeastLoadedMetaScheduler(), True),
-        ("earliest-start/no-reservations", EarliestStartMetaScheduler(), False),
-        ("earliest-start/reservations", EarliestStartMetaScheduler(), True),
+    Each configuration is one grid-mode :class:`Scenario`: the local per-site
+    workloads (re-seeded per site), the synthetic meta stream, and the three
+    scored queue-wait predictors are all materialized by the scenario runner.
+    """
+    configurations: List[Tuple[str, str, bool]] = [
+        ("least-loaded/no-reservations", "least-loaded", False),
+        ("least-loaded/reservations", "least-loaded", True),
+        ("earliest-start/no-reservations", "earliest-start", False),
+        ("earliest-start/reservations", "earliest-start", True),
     ]
     grid_results: Dict[str, GridResult] = {}
     prediction_errors: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for name, meta_scheduler, use_reservations in configurations:
-        site_objects = _make_sites(sites, machine_size, local_jobs_per_site, local_load, seed)
-        simulation = GridSimulation(
-            site_objects,
-            meta_stream,
-            meta_scheduler,
-            use_reservations=use_reservations,
-            predictors=predictors,
+    for name, meta, use_reservations in configurations:
+        scenario = Scenario(
+            workload=f"lublin99:jobs={local_jobs_per_site}",
+            policy=(
+                f"grid:meta={meta},sites={sites},"
+                f"reservations={str(use_reservations).lower()},"
+                f"meta_jobs={meta_jobs},coallocation_fraction={coallocation_fraction}"
+            ),
+            machine_size=machine_size,
+            load=local_load,
+            seed=seed,
+            name=name,
         )
-        result = simulation.run()
+        result = run_scenario(scenario).grid
         grid_results[name] = result
         prediction_errors[name] = {
             predictor: prediction_error_summary(pairs)

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_metric
 from repro.evaluation.results import JobResult, SimulationResult
 
 __all__ = ["MetricsReport", "compute_metrics", "confidence_interval"]
@@ -127,6 +128,31 @@ def compute_metrics(result: SimulationResult, tau: float = DEFAULT_TAU) -> Metri
         total_area=total_area,
         tau=tau,
     )
+
+
+# Every numeric column of the report is reachable by name through the metric
+# registry, so sweeps and objective configs can select metrics from strings.
+def _register_report_metrics() -> None:
+    for metric_name in (
+        "mean_wait",
+        "median_wait",
+        "mean_response",
+        "median_response",
+        "mean_slowdown",
+        "mean_bounded_slowdown",
+        "median_bounded_slowdown",
+        "p90_bounded_slowdown",
+        "utilization",
+        "throughput_per_hour",
+        "makespan",
+        "total_area",
+    ):
+        register_metric(metric_name)(
+            lambda report, _metric=metric_name: report.value(_metric)
+        )
+
+
+_register_report_metrics()
 
 
 def confidence_interval(values: Sequence[float], confidence: float = 0.95) -> tuple:

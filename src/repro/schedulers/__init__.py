@@ -29,7 +29,8 @@ from repro.schedulers.priority import (
     WidestFirstScheduler,
 )
 from repro.schedulers.backfill import ConservativeBackfillScheduler, EasyBackfillScheduler
-from repro.schedulers.gang import GangSimulation, simulate_gang
+from repro.schedulers.gang import GangPolicy, GangSimulation, simulate_gang
+from repro.schedulers.moldable import MoldableScheduler
 
 __all__ = [
     "AvailabilityProfile",
@@ -48,6 +49,8 @@ __all__ = [
     "WFPScheduler",
     "EasyBackfillScheduler",
     "ConservativeBackfillScheduler",
+    "MoldableScheduler",
+    "GangPolicy",
     "GangSimulation",
     "simulate_gang",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.api.registry import register_scheduler
 from repro.schedulers.base import (
     AvailabilityProfile,
     JobRequest,
@@ -37,6 +38,7 @@ from repro.schedulers.base import (
 __all__ = ["EasyBackfillScheduler", "ConservativeBackfillScheduler"]
 
 
+@register_scheduler("easy", "easy-backfill")
 class EasyBackfillScheduler(Scheduler):
     """EASY (aggressive) backfilling: one reservation, for the queue head."""
 
@@ -114,6 +116,7 @@ class EasyBackfillScheduler(Scheduler):
         return shadow_time, extra
 
 
+@register_scheduler("conservative", "conservative-backfill")
 class ConservativeBackfillScheduler(Scheduler):
     """Conservative backfilling: every queued job holds a reservation."""
 

@@ -131,6 +131,11 @@ class Scheduler(ABC):
 
     #: human-readable policy name (used in experiment tables)
     name: str = "scheduler"
+    #: simulator the policy plugs into: ``"space"`` policies implement
+    #: :meth:`select_jobs` for the event-driven space-sharing driver; other
+    #: registered policy classes declare ``"gang"`` or ``"grid"`` and are
+    #: dispatched by :func:`repro.api.runner.run` to their own simulators.
+    mode: str = "space"
     #: if True, the policy consults announced outages via ``state.min_capacity``
     outage_aware: bool = False
 

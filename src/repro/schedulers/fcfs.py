@@ -13,11 +13,13 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.api.registry import register_scheduler
 from repro.schedulers.base import JobRequest, Scheduler, SchedulerState
 
 __all__ = ["FCFSScheduler", "FirstFitScheduler"]
 
 
+@register_scheduler("fcfs")
 class FCFSScheduler(Scheduler):
     """Strict first-come-first-served: the queue head blocks everything behind it."""
 
@@ -38,6 +40,7 @@ class FCFSScheduler(Scheduler):
         return started
 
 
+@register_scheduler("first-fit")
 class FirstFitScheduler(Scheduler):
     """Start any queued job that fits, scanning in arrival order (no reservations)."""
 

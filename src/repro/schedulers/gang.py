@@ -26,11 +26,38 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.api.registry import register_scheduler
 from repro.core.swf.workload import Workload
 from repro.evaluation.results import JobResult, SimulationResult
 from repro.schedulers.base import JobRequest
 
-__all__ = ["GangSimulation", "simulate_gang"]
+__all__ = ["GangPolicy", "GangSimulation", "simulate_gang"]
+
+
+@register_scheduler("gang")
+class GangPolicy:
+    """Gang-scheduling configuration constructible from a spec string.
+
+    Gang scheduling time-slices rather than space-shares, so it is not a
+    :class:`~repro.schedulers.base.Scheduler`; registering this lightweight
+    configuration under ``"gang"`` lets :func:`repro.api.runner.run` dispatch
+    ``"gang:slots=3,overhead=0.1"`` to :func:`simulate_gang` through the same
+    front door as every space-sharing policy.
+    """
+
+    mode = "gang"
+
+    def __init__(self, slots: int = 5, overhead: float = 0.05) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        if not 0.0 <= overhead < 1.0:
+            raise ValueError("overhead must be in [0, 1)")
+        self.slots = slots
+        self.overhead = overhead
+
+    @property
+    def name(self) -> str:
+        return f"gang-{self.slots}slots"
 
 
 @dataclass

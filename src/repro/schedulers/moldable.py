@@ -26,12 +26,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.api.registry import register_scheduler
 from repro.schedulers.base import JobRequest, Scheduler, SchedulerState
 from repro.workloads.speedup import MoldableJob
 
 __all__ = ["MoldableScheduler"]
 
 
+@register_scheduler("moldable", "moldable-adaptive")
 class MoldableScheduler(Scheduler):
     """FCFS scheduling with per-job adaptive allocation from speedup curves."""
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from repro.api.registry import register_scheduler
 from repro.schedulers.base import JobRequest, Scheduler, SchedulerState
 
 __all__ = [
@@ -70,6 +71,7 @@ class PriorityScheduler(Scheduler):
         return started
 
 
+@register_scheduler("sjf")
 class ShortestJobFirstScheduler(PriorityScheduler):
     """Shortest estimated runtime first (classic SJF on user estimates)."""
 
@@ -82,6 +84,7 @@ class ShortestJobFirstScheduler(PriorityScheduler):
         )
 
 
+@register_scheduler("ljf")
 class LongestJobFirstScheduler(PriorityScheduler):
     """Longest estimated runtime first (the adversarial counterpart of SJF)."""
 
@@ -94,6 +97,7 @@ class LongestJobFirstScheduler(PriorityScheduler):
         )
 
 
+@register_scheduler("narrowest-first")
 class NarrowestFirstScheduler(PriorityScheduler):
     """Fewest requested processors first (favours small jobs, packs well)."""
 
@@ -106,6 +110,7 @@ class NarrowestFirstScheduler(PriorityScheduler):
         )
 
 
+@register_scheduler("widest-first")
 class WidestFirstScheduler(PriorityScheduler):
     """Most requested processors first (drains large jobs early)."""
 
@@ -118,6 +123,7 @@ class WidestFirstScheduler(PriorityScheduler):
         )
 
 
+@register_scheduler("smallest-area-first")
 class SmallestAreaFirstScheduler(PriorityScheduler):
     """Smallest processors x estimated-runtime product first."""
 
@@ -130,6 +136,7 @@ class SmallestAreaFirstScheduler(PriorityScheduler):
         )
 
 
+@register_scheduler("wfp")
 class WFPScheduler(PriorityScheduler):
     """Waiting-time-weighted fair-share-like priority (WFP3-style).
 

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.core.swf.workload import Workload
 from repro.simulation.distributions import LogUniform, make_rng
 from repro.workloads.base import (
@@ -44,6 +45,7 @@ from repro.workloads.speedup import DowneySpeedup, MoldableJob
 __all__ = ["Downey97Model"]
 
 
+@register_model("downey97")
 class Downey97Model(WorkloadModel):
     """Log-uniform work and parallelism, Downey speedup curves."""
 

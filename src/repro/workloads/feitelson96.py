@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.core.swf.workload import Workload
 from repro.simulation.distributions import make_rng
 from repro.workloads.base import (
@@ -39,6 +40,7 @@ from repro.workloads.base import (
 __all__ = ["Feitelson96Model"]
 
 
+@register_model("feitelson96")
 class Feitelson96Model(WorkloadModel):
     """Rigid-job model with power-of-two size emphasis and size-correlated runtimes."""
 

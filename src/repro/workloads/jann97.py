@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.core.swf.workload import Workload
 from repro.simulation.distributions import HyperErlang, make_rng
 from repro.workloads.base import UserPopulation, WorkloadModel, assemble_workload
@@ -100,6 +101,7 @@ def _hyper_erlang_for(mean: float, cv: float, order: int = 2) -> HyperErlang:
     return HyperErlang(probs=(p, 1.0 - p), rates=(order / m1, order / m2), order=order)
 
 
+@register_model("jann97")
 class Jann97Model(WorkloadModel):
     """Per-size-class hyper-Erlang model of arrivals and runtimes."""
 

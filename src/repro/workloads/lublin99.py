@@ -28,6 +28,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.core.swf.workload import Workload
 from repro.simulation.distributions import HyperGamma, make_rng
 from repro.workloads.base import (
@@ -41,6 +42,7 @@ from repro.workloads.base import (
 __all__ = ["Lublin99Model"]
 
 
+@register_model("lublin99")
 class Lublin99Model(WorkloadModel):
     """Two-stage uniform log2-size, size-dependent hyper-Gamma runtime, daily cycle."""
 

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.core.swf.fields import MISSING
 from repro.core.swf.header import SWFHeader
 from repro.core.swf.records import SWFJob
@@ -37,6 +38,7 @@ from repro.workloads.lublin99 import Lublin99Model
 __all__ = ["SessionModel"]
 
 
+@register_model("sessions")
 class SessionModel(WorkloadModel):
     """Generate closed (session-structured) workloads with explicit dependencies."""
 

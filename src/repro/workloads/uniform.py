@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_model
 from repro.core.swf.workload import Workload
 from repro.simulation.distributions import make_rng
 from repro.workloads.base import PoissonArrivals, UserPopulation, WorkloadModel, assemble_workload
@@ -21,6 +22,7 @@ from repro.workloads.base import PoissonArrivals, UserPopulation, WorkloadModel,
 __all__ = ["UniformModel"]
 
 
+@register_model("uniform")
 class UniformModel(WorkloadModel):
     """Uniform sizes, exponential runtimes, Poisson arrivals, no structure."""
 

@@ -1,0 +1,111 @@
+"""Tests for the registries and spec-string parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.registry import (
+    Registry,
+    RegistryError,
+    SpecError,
+    UnknownNameError,
+    format_spec,
+    make_model,
+    make_scheduler,
+    metric_registry,
+    model_names,
+    parse_spec,
+    scheduler_names,
+)
+
+
+class TestParseSpec:
+    def test_bare_name(self):
+        assert parse_spec("easy") == ("easy", {})
+
+    def test_kwargs_are_coerced(self):
+        name, kwargs = parse_spec("gang:slots=3,overhead=0.1,label=hi,strict=true,x=none")
+        assert name == "gang"
+        assert kwargs == {"slots": 3, "overhead": 0.1, "label": "hi", "strict": True, "x": None}
+
+    def test_dashes_in_keys_normalize(self):
+        assert parse_spec("m:machine-size=64") == ("m", {"machine_size": 64})
+
+    def test_malformed_pairs_raise(self):
+        with pytest.raises(SpecError):
+            parse_spec("easy:reservations")
+        with pytest.raises(SpecError):
+            parse_spec("")
+        with pytest.raises(SpecError):
+            parse_spec(":x=1")
+
+    def test_format_round_trips(self):
+        spec = format_spec("gang", {"slots": 3, "overhead": 0.1})
+        assert parse_spec(spec) == ("gang", {"slots": 3, "overhead": 0.1})
+
+
+class TestRegistry:
+    def test_every_scheduler_is_reachable_by_name(self):
+        names = set(scheduler_names())
+        # The full policy roster of the codebase, including the gang and grid
+        # simulator families and the priority policies.
+        assert {
+            "fcfs", "first-fit", "sjf", "ljf", "narrowest-first", "widest-first",
+            "smallest-area-first", "wfp", "easy", "conservative", "moldable",
+            "gang", "grid",
+        } <= names
+
+    def test_every_model_is_reachable_by_name(self):
+        assert set(model_names()) >= {
+            "feitelson96", "jann97", "lublin99", "downey97", "uniform", "sessions",
+        }
+
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(UnknownNameError, match="did you mean 'easy'"):
+            make_scheduler("easyy")
+        with pytest.raises(UnknownNameError, match="lublin99"):
+            make_model("lublin9")
+
+    def test_unknown_name_is_a_keyerror(self):
+        with pytest.raises(KeyError):
+            make_scheduler("no-such-policy")
+
+    def test_spec_kwargs_reach_the_constructor(self):
+        sjf = make_scheduler("sjf:strict=true")
+        assert sjf.strict is True
+        gang = make_scheduler("gang:slots=3,overhead=0.1")
+        assert (gang.slots, gang.overhead) == (3, 0.1)
+
+    def test_defaults_yield_to_spec_kwargs(self):
+        model = make_model("lublin99:machine_size=64", machine_size=256)
+        assert model.machine_size == 64
+
+    def test_bad_constructor_kwarg_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="fcfs"):
+            make_scheduler("fcfs:reservations=4")
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        registry.register("a")(int)
+        with pytest.raises(RegistryError):
+            registry.register("a")(float)
+        # Re-registering the same factory (module reloads) is tolerated.
+        registry.register("a")(int)
+
+    def test_aliases_resolve_to_the_same_factory(self):
+        from repro.api.registry import scheduler_registry
+
+        assert scheduler_registry.get("easy") is scheduler_registry.get("easy-backfill")
+
+
+class TestMetricRegistry:
+    def test_standard_metrics_registered(self):
+        names = set(metric_registry.names())
+        assert {"mean_wait", "mean_bounded_slowdown", "utilization", "makespan"} <= names
+
+    def test_extractor_reads_a_report(self):
+        from repro.api import Scenario, run
+        from repro.api.registry import get_metric
+
+        result = run(Scenario(workload="uniform:jobs=30,seed=1", machine_size=32))
+        assert get_metric("mean_wait")(result.report) == result.report.mean_wait

@@ -1,0 +1,68 @@
+"""Tests for the Scenario dataclass and its JSON round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Scenario
+
+
+class TestScenario:
+    def test_defaults(self):
+        scenario = Scenario(workload="lublin99")
+        assert scenario.policy == "easy"
+        assert scenario.machine_size is None
+        assert scenario.honor_dependencies is False
+        assert scenario.tau == 10.0
+
+    def test_frozen(self):
+        scenario = Scenario(workload="lublin99")
+        with pytest.raises(Exception):
+            scenario.policy = "fcfs"
+
+    def test_with_replaces_fields(self):
+        scenario = Scenario(workload="lublin99", machine_size=64)
+        changed = scenario.with_(policy="gang:slots=3", load=0.9)
+        assert changed.policy == "gang:slots=3"
+        assert changed.load == 0.9
+        assert changed.machine_size == 64
+        assert scenario.policy == "easy"  # original untouched
+
+    def test_label(self):
+        assert Scenario(workload="w", policy="p").label == "w/p"
+        assert Scenario(workload="w", name="hello").label == "hello"
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_exact(self):
+        scenario = Scenario(
+            workload="lublin99:jobs=5000,seed=1",
+            policy="sjf:strict=true",
+            machine_size=256,
+            jobs=5000,
+            load=0.85,
+            seed=1,
+            outages="logs/outages.log",
+            honor_dependencies=True,
+            restart_failed_jobs=False,
+            max_restarts=3,
+            tau=60.0,
+            name="stress",
+        )
+        blob = json.dumps(scenario.to_dict())
+        assert Scenario.from_dict(json.loads(blob)) == scenario
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_round_trip_with_defaults(self):
+        scenario = Scenario(workload="uniform")
+        assert Scenario.from_dict(json.loads(json.dumps(scenario.to_dict()))) == scenario
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            Scenario.from_dict({"workload": "lublin99", "polcy": "easy"})
+
+    def test_missing_workload_raises(self):
+        with pytest.raises(ValueError, match="workload"):
+            Scenario.from_dict({"policy": "easy"})

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import MODELS, SCHEDULERS, build_parser, main
+import json
+
+from repro.api.registry import model_names, scheduler_names
+from repro.cli import build_parser, main
 from repro.core.swf import parse_swf, write_swf
 from repro.workloads import Lublin99Model
 from tests.conftest import make_job, make_workload
@@ -29,8 +32,11 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_rosters_cover_documented_names(self):
-        assert set(SCHEDULERS) == {"fcfs", "first-fit", "sjf", "easy", "conservative"}
-        assert "lublin99" in MODELS and "sessions" in MODELS
+        # The CLI resolves through the registries: every registered policy and
+        # model is reachable, including the priority family and gang/grid.
+        assert {"fcfs", "first-fit", "sjf", "ljf", "wfp", "easy", "conservative",
+                "gang", "grid"} <= set(scheduler_names())
+        assert {"lublin99", "sessions"} <= set(model_names())
 
 
 class TestValidateAndStats:
@@ -63,6 +69,12 @@ class TestGenerateAndSimulate:
         assert len(workload) == 100
         assert workload.offered_load(64) == pytest.approx(0.7, rel=0.1)
 
+    def test_generate_accepts_spec_kwargs(self, tmp_path):
+        out_path = tmp_path / "spec.swf"
+        assert main(["generate", "lublin99:jobs=50,seed=1", str(out_path),
+                     "--machine-size", "32"]) == 0
+        assert len(parse_swf(out_path)) == 50
+
     def test_generate_archive(self, tmp_path):
         out_path = tmp_path / "ctc.swf"
         assert main(["generate", "ctc-sp2", str(out_path), "--jobs", "150", "--seed", "1"]) == 0
@@ -72,10 +84,68 @@ class TestGenerateAndSimulate:
         assert main(["generate", "not-a-model", str(tmp_path / "x.swf")]) == 2
 
     def test_simulate_prints_metrics(self, trace_path, capsys):
-        assert main(["simulate", str(trace_path), "--scheduler", "easy"]) == 0
+        assert main(["simulate", str(trace_path), "--policy", "easy"]) == 0
         out = capsys.readouterr().out
         assert "easy-backfill" in out
         assert "utilization" in out
+
+    def test_simulate_scheduler_flag_is_an_alias(self, trace_path, capsys):
+        assert main(["simulate", str(trace_path), "--scheduler", "fcfs"]) == 0
+        assert "fcfs" in capsys.readouterr().out
+
+    def test_simulate_accepts_priority_spec(self, trace_path, capsys):
+        assert main(["simulate", str(trace_path), "--policy", "sjf:strict=true"]) == 0
+        assert "sjf" in capsys.readouterr().out
+
+    def test_simulate_accepts_gang_spec(self, trace_path, capsys):
+        assert main(["simulate", str(trace_path), "--policy", "gang:slots=3"]) == 0
+        assert "gang-3slots" in capsys.readouterr().out
+
+    def test_simulate_accepts_model_spec_workload(self, capsys):
+        code = main(
+            ["simulate", "lublin99:jobs=40,seed=2", "--policy", "easy",
+             "--machine-size", "64"]
+        )
+        assert code == 0
+        assert "easy-backfill" in capsys.readouterr().out
+
+    def test_simulate_metric_selection(self, trace_path, capsys):
+        assert main(
+            ["simulate", str(trace_path), "--policy", "easy",
+             "--metrics", "mean_wait,utilization"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mean_wait" in out and "utilization" in out
+        assert "makespan" not in out
+
+    def test_simulate_unknown_policy_fails_with_suggestion(self, trace_path, capsys):
+        assert main(["simulate", str(trace_path), "--policy", "easyy"]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+
+class TestRunScenarios:
+    def test_run_scenario_file(self, trace_path, tmp_path, capsys):
+        scenarios = [
+            {"workload": str(trace_path), "policy": "fcfs", "name": "baseline"},
+            {"workload": str(trace_path), "policy": "easy", "name": "backfilled"},
+        ]
+        path = tmp_path / "scenarios.json"
+        path.write_text(json.dumps(scenarios))
+        assert main(["run", str(path), "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "backfilled" in out
+
+    def test_run_single_scenario_object(self, trace_path, tmp_path, capsys):
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps({"workload": str(trace_path)}))
+        assert main(["run", str(path)]) == 0
+        assert "easy-backfill" in capsys.readouterr().out
+
+    def test_run_bad_scenario_field_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"workload": "lublin99", "polcy": "easy"}))
+        assert main(["run", str(path)]) == 2
+        assert "unknown scenario field" in capsys.readouterr().err
 
     def test_outages_command_writes_log(self, tmp_path, capsys):
         out_path = tmp_path / "outages.log"

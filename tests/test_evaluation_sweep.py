@@ -18,6 +18,38 @@ class TestCompareSchedulers:
         assert all(r.label == lublin_workload.name for r in rows)
         assert all(len(r.result.jobs) == len(lublin_workload.summary_jobs()) for r in rows)
 
+    def test_spec_strings_match_instances(self, lublin_workload):
+        from_specs = compare_schedulers(lublin_workload, ["fcfs", "easy"], machine_size=64)
+        from_instances = compare_schedulers(
+            lublin_workload, [FCFSScheduler(), EasyBackfillScheduler()], machine_size=64
+        )
+        for a, b in zip(from_specs, from_instances):
+            assert a.scheduler == b.scheduler
+            assert [(j.job_id, j.start_time) for j in a.result.jobs] == [
+                (j.job_id, j.start_time) for j in b.result.jobs
+            ]
+
+    def test_workers_match_serial(self, lublin_workload):
+        serial = compare_schedulers(lublin_workload, ["fcfs", "easy"], machine_size=64)
+        parallel = compare_schedulers(
+            lublin_workload, ["fcfs", "easy"], machine_size=64, workers=2
+        )
+        for a, b in zip(serial, parallel):
+            assert [(j.job_id, j.start_time, j.end_time) for j in a.result.jobs] == [
+                (j.job_id, j.start_time, j.end_time) for j in b.result.jobs
+            ]
+
+    def test_mixed_specs_and_instances_preserve_order(self, lublin_workload):
+        rows = compare_schedulers(
+            lublin_workload,
+            ["fcfs", EasyBackfillScheduler(), "conservative"],
+            machine_size=64,
+            workers=2,
+        )
+        assert [r.scheduler for r in rows] == [
+            "fcfs", "easy-backfill", "conservative-backfill",
+        ]
+
     def test_reports_use_requested_tau(self, lublin_workload):
         rows = compare_schedulers(lublin_workload, [FCFSScheduler()], machine_size=64, tau=60.0)
         assert rows[0].report.tau == 60.0
@@ -34,6 +66,48 @@ class TestLoadSweep:
         assert [r.label for r in rows] == ["load=0.50", "load=0.80"]
         # Higher offered load never decreases the mean wait.
         assert rows[1].report.mean_wait >= rows[0].report.mean_wait * 0.9
+
+    def test_sweep_accepts_policy_specs(self, lublin_workload):
+        rows = load_sweep(lublin_workload, "easy", loads=[0.5, 0.8], machine_size=64)
+        assert [r.scheduler for r in rows] == ["easy-backfill", "easy-backfill"]
+        assert [r.label for r in rows] == ["load=0.50", "load=0.80"]
+
+    def test_sweep_carries_outages_through(self, lublin_workload):
+        from repro.core.outage import OutageLog, OutageRecord, OutageType
+
+        outages = OutageLog(
+            [
+                # Mid-trace, whole-machine failure: whatever is running when
+                # it starts is killed (and restarted by the default policy).
+                OutageRecord(
+                    announced_time=50000,
+                    start_time=50000,
+                    end_time=60000,
+                    outage_type=OutageType.CPU_FAILURE,
+                    nodes_affected=64,
+                )
+            ]
+        )
+        clean = load_sweep(lublin_workload, "fcfs", loads=[0.7], machine_size=64)
+        failed = load_sweep(
+            lublin_workload, "fcfs", loads=[0.7], machine_size=64, outages=outages
+        )
+        assert clean[0].result.outage_kills == 0
+        assert failed[0].result.outage_kills > 0
+
+    def test_sweep_carries_honor_dependencies_through(self):
+        jobs = [
+            make_job(1, submit=0, runtime=1000, processors=4),
+            make_job(2, submit=10, runtime=500, processors=4, preceding_job=1, think_time=0),
+        ]
+        workload = make_workload(jobs)
+        open_rows = load_sweep(workload, "fcfs", loads=[1.0], machine_size=32)
+        closed_rows = load_sweep(
+            workload, "fcfs", loads=[1.0], machine_size=32, honor_dependencies=True
+        )
+        open_submit = open_rows[0].result.by_job_id()[2].submit_time
+        closed_submit = closed_rows[0].result.by_job_id()[2].submit_time
+        assert closed_submit > open_submit
 
     def test_sweep_requires_measurable_base_load(self):
         degenerate = make_workload([make_job(1, submit=0)])
