@@ -15,6 +15,7 @@ Run with::
 
 from __future__ import annotations
 
+from repro.bench.seeds import derive_seeds
 from repro.evaluation import format_table
 from repro.grid import (
     CategoryMeanPredictor,
@@ -34,14 +35,14 @@ from repro.workloads import Lublin99Model
 def build_sites(count: int = 4, machine_size: int = 128, seed: int = 31):
     """Sites with mild configuration heterogeneity and their own local users."""
     sites = []
-    for i in range(count):
+    for i, site_seed in enumerate(derive_seeds(seed, count)):
         sites.append(
             Site(
                 name=f"center-{chr(ord('a') + i)}",
                 machine_size=machine_size,
                 scheduler=EasyBackfillScheduler(outage_aware=True),
                 local_workload=Lublin99Model(machine_size=machine_size).generate_with_load(
-                    400, 0.6, seed=seed + i
+                    400, 0.6, seed=site_seed
                 ),
                 speed=1.0 + 0.15 * i,
             )

@@ -37,6 +37,7 @@ from repro.api.registry import (
     scheduler_registry,
 )
 from repro.api.scenario import Scenario
+from repro.bench.seeds import derive_seeds
 from repro.core.outage.log import OutageLog, parse_outage_log
 from repro.core.swf.parser import parse_swf
 from repro.core.swf.workload import Workload
@@ -311,12 +312,13 @@ def _run_grid(
         raise UnknownNameError("meta-scheduler", policy.meta, list(meta_classes)) from None
 
     base_seed = scenario.seed if scenario.seed is not None else 0
+    site_seeds = derive_seeds(base_seed, policy.sites)
     sites = []
     for i in range(policy.sites):
         # Each site gets its own local stream: re-seed the model per site, or
         # replay the same trace everywhere when the workload is materialized.
         local = _materialize(
-            scenario, workload, seed=None if workload is not None else base_seed + i
+            scenario, workload, seed=None if workload is not None else site_seeds[i]
         )
         machine_size = scenario.machine_size or local.header.max_nodes or local.max_processors()
         sites.append(

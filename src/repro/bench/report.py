@@ -1,0 +1,218 @@
+"""Rendering benchmark results: markdown and JSON tables with CI columns.
+
+Markdown output is for humans and CI artifacts; JSON output is the machine
+view (raw floats, cache statistics, timings) that the CI smoke job and any
+downstream tooling consume.  Significance markers follow the usual
+convention: ``*`` marks a metric whose paired difference is significant at
+the run's confidence level, and the favoured policy is named in the verdict
+column.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.bench.runner import ComparisonResult, SuiteRunResult
+from repro.bench.stats import mean_ci
+from repro.bench.store import ResultStore, code_version, family_key
+from repro.bench.suite import DEFAULT_METRICS
+
+__all__ = [
+    "suite_markdown",
+    "suite_json",
+    "comparison_markdown",
+    "comparison_json",
+    "report_from_store",
+]
+
+
+def _markdown_table(rows: List[Dict[str, object]]) -> str:
+    if not rows:
+        return "*(no rows)*"
+    columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# suite runs
+# ----------------------------------------------------------------------
+def suite_markdown(result: SuiteRunResult) -> str:
+    """The per-suite report: one row per case, ``mean ± CI`` per metric."""
+    parts = [
+        f"# Benchmark suite `{result.suite}`",
+        "",
+        f"{len(result.replications)} replications "
+        f"({result.cache_hits} cache hits, {result.cache_misses} simulated), "
+        f"{result.elapsed_seconds:.2f}s; intervals are Student-t at "
+        f"{result.confidence:.0%} confidence.",
+        "",
+        _markdown_table(result.rows()),
+        "",
+    ]
+    return "\n".join(parts)
+
+
+def suite_json(result: SuiteRunResult) -> Dict[str, Any]:
+    """Machine view of a suite run (raw floats, cache stats, timing)."""
+    return {
+        "suite": result.suite,
+        "confidence": result.confidence,
+        "metrics": list(result.metrics),
+        "replications": len(result.replications),
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "elapsed_seconds": result.elapsed_seconds,
+        "cases": [
+            {
+                "case": agg.case,
+                "context": agg.context,
+                "policy": agg.policy,
+                "seeds": agg.n,
+                "metrics": {
+                    metric: {
+                        "mean": ci.mean,
+                        "lo": ci.lo,
+                        "hi": ci.hi,
+                        "half_width": ci.half_width,
+                    }
+                    for metric, ci in agg.cis.items()
+                },
+            }
+            for agg in result.aggregates()
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# pairwise comparisons
+# ----------------------------------------------------------------------
+def comparison_markdown(result: ComparisonResult) -> str:
+    """The pairwise report: CIs, paired p-values, significance markers."""
+    parts = [
+        f"# `{result.policy_a}` vs `{result.policy_b}` on suite `{result.suite}`",
+        "",
+        f"Paired-difference t-tests under common random numbers at "
+        f"{result.confidence:.0%} confidence "
+        f"({result.cache_hits} cache hits, {result.cache_misses} simulated, "
+        f"{result.elapsed_seconds:.2f}s).  ``*`` marks a significant metric.",
+        "",
+    ]
+    for case in result.cases:
+        rows = []
+        for m in case.metrics:
+            rows.append(
+                {
+                    "metric": f"{m.metric}{'*' if m.paired.significant else ''}",
+                    result.policy_a: f"{m.a.mean:.4g} ± {m.a.half_width:.3g}",
+                    result.policy_b: f"{m.b.mean:.4g} ± {m.b.half_width:.3g}",
+                    "diff (A-B)": f"{m.paired.mean_diff:+.4g}",
+                    "p": f"{m.paired.p_value:.3f}",
+                    "favours": m.better if m.better else "—",
+                }
+            )
+        parts.extend([f"## {case.context} ({case.n} seeds)", "", _markdown_table(rows), ""])
+    parts.append("```")
+    parts.append(result.summary())
+    parts.append("```")
+    return "\n".join(parts)
+
+
+def comparison_json(result: ComparisonResult) -> Dict[str, Any]:
+    """Machine view of a pairwise comparison."""
+    return {
+        "suite": result.suite,
+        "policy_a": result.policy_a,
+        "policy_b": result.policy_b,
+        "confidence": result.confidence,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "elapsed_seconds": result.elapsed_seconds,
+        "cases": [
+            {
+                "context": case.context,
+                "seeds": case.n,
+                "metrics": [
+                    {
+                        "metric": m.metric,
+                        "a": {"mean": m.a.mean, "lo": m.a.lo, "hi": m.a.hi},
+                        "b": {"mean": m.b.mean, "lo": m.b.lo, "hi": m.b.hi},
+                        "mean_diff": m.paired.mean_diff,
+                        "p_value": m.paired.p_value,
+                        "significant": m.paired.significant,
+                        "better": m.better,
+                    }
+                    for m in case.metrics
+                ],
+            }
+            for case in result.cases
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# store-wide report
+# ----------------------------------------------------------------------
+def report_from_store(
+    store: ResultStore,
+    suite: Optional[str] = None,
+    metrics: Iterable[str] = DEFAULT_METRICS,
+    confidence: float = 0.95,
+) -> str:
+    """Markdown digest of everything the store holds, grouped by suite/case.
+
+    This is ``repro bench report``: no simulation, just aggregation of the
+    cached entries (optionally filtered to one suite).  Entries from stale
+    code versions are skipped, and aggregation groups by replication
+    *family* (scenario identity minus the seed), never by label alone —
+    pooling two generations of a renamed or re-parameterized case into one
+    mean ± CI would be statistically meaningless.
+    """
+    metrics = list(metrics)
+    current = code_version()
+    # (suite, case, family) -> entries; families sharing a case label are
+    # disambiguated in the rendered rows.
+    grouped: Dict[str, Dict[str, Dict[str, list]]] = {}
+    for entry in store.entries():
+        if not entry.suite or (suite is not None and entry.suite != suite):
+            continue
+        if entry.code != current:
+            continue
+        family = family_key(entry.scenario, entry.extra)
+        grouped.setdefault(entry.suite, {}).setdefault(entry.case, {}).setdefault(
+            family, []
+        ).append(entry)
+
+    if not grouped:
+        scope = f"suite {suite!r}" if suite else "any suite"
+        return f"*(no cached results for {scope} in {store.root})*"
+
+    parts = [f"# Benchmark store report — `{store.root}`", ""]
+    for suite_name in sorted(grouped):
+        rows = []
+        for case_name in sorted(grouped[suite_name]):
+            families = grouped[suite_name][case_name]
+            for family in sorted(families):
+                entries = families[family]
+                reports = [e.report for e in entries]
+                label = case_name
+                if len(families) > 1:
+                    label = f"{case_name} [{family[:8]}]"
+                row: Dict[str, object] = {"case": label, "entries": len(entries)}
+                for metric in metrics:
+                    ci = mean_ci([r.value(metric) for r in reports], confidence)
+                    row[metric] = f"{ci.mean:.4g} ± {ci.half_width:.3g}"
+                rows.append(row)
+        parts.extend([f"## `{suite_name}`", "", _markdown_table(rows), ""])
+    return "\n".join(parts)
+
+
+def to_json_text(data: Dict[str, Any]) -> str:
+    """Stable JSON text for files the CI smoke job diffs and parses."""
+    return json.dumps(data, indent=2, sort_keys=True) + "\n"

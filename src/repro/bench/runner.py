@@ -1,0 +1,450 @@
+"""The suite runner: cache consult → ``run_many`` fan-out → aggregation.
+
+Execution order is always: expand every case into per-seed replications,
+look each one up in the content-addressed store, run only the misses (in one
+``run_many`` batch, so ``--workers N`` parallelism applies across cases and
+seeds alike), write the fresh results back, then aggregate.  Because cache
+keys are content addresses, overlapping suites share entries: running
+``std-space`` warms every ``bench compare`` over the same contexts.
+
+:func:`compare_policies` is the paper's prescribed pairwise methodology:
+both policies run the *same* seed list per context (common random numbers),
+and each metric gets a paired-difference t-test with a significance verdict
+instead of an eyeballed mean comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.registry import parse_spec, scheduler_registry
+from repro.api.runner import resolve_workload, run_many
+from repro.api.scenario import Scenario
+from repro.bench.stats import CIEstimate, PairedComparison, mean_ci, paired_comparison
+from repro.bench.store import ResultStore, StoredResult, result_key
+from repro.bench.suite import BenchmarkCase, BenchmarkSuite, get_suite
+from repro.metrics.basic import MetricsReport
+from repro.metrics.objective import MAXIMIZE_METRICS
+
+__all__ = [
+    "ReplicationOutcome",
+    "CaseAggregate",
+    "SuiteRunResult",
+    "MetricComparison",
+    "CaseComparison",
+    "ComparisonResult",
+    "run_suite",
+    "compare_policies",
+    "mean_report",
+]
+
+
+def mean_report(reports: Sequence[MetricsReport]) -> MetricsReport:
+    """Field-wise mean of replication reports (the across-seeds summary).
+
+    Numeric fields are averaged; the scheduler name and tau are taken from
+    the first report (replications of one case share both).
+    """
+    if not reports:
+        raise ValueError("mean_report needs at least one report")
+    first = reports[0]
+    values: Dict[str, Any] = {}
+    for f in dataclasses.fields(MetricsReport):
+        column = [getattr(r, f.name) for r in reports]
+        if f.name in ("scheduler",):
+            values[f.name] = column[0]
+        elif f.name in ("jobs", "killed"):
+            values[f.name] = int(round(sum(column) / len(column)))
+        else:
+            values[f.name] = sum(column) / len(column)
+    return MetricsReport(**values)
+
+
+@dataclass(frozen=True)
+class ReplicationOutcome:
+    """One executed (or cache-served) replication of one case."""
+
+    case: BenchmarkCase
+    seed: int
+    scenario: Scenario
+    key: str
+    report: MetricsReport
+    cached: bool
+
+
+@dataclass(frozen=True)
+class CaseAggregate:
+    """Across-seeds summary of one case: per-metric mean ± CI."""
+
+    case: str
+    context: str
+    policy: str
+    n: int
+    cis: Dict[str, CIEstimate]
+    summary: MetricsReport
+
+
+@dataclass
+class SuiteRunResult:
+    """Everything one suite run produced, cache-served and simulated alike."""
+
+    suite: str
+    metrics: Tuple[str, ...]
+    confidence: float
+    replications: List[ReplicationOutcome]
+    cache_hits: int
+    cache_misses: int
+    elapsed_seconds: float
+
+    def by_case(self) -> Dict[str, List[ReplicationOutcome]]:
+        """Replications grouped by case name, in suite order."""
+        grouped: Dict[str, List[ReplicationOutcome]] = {}
+        for outcome in self.replications:
+            grouped.setdefault(outcome.case.name, []).append(outcome)
+        return grouped
+
+    def aggregates(self) -> List[CaseAggregate]:
+        """Per-case mean ± Student-t CI for every suite metric (memoized).
+
+        The t-quantile bisection is not free; rows(), the JSON report, and
+        the markdown report all read the same aggregates, so compute once.
+        """
+        cached = getattr(self, "_aggregates", None)
+        if cached is not None:
+            return cached
+        result = []
+        for name, outcomes in self.by_case().items():
+            reports = [o.report for o in outcomes]
+            result.append(
+                CaseAggregate(
+                    case=name,
+                    context=outcomes[0].case.context,
+                    policy=outcomes[0].scenario.policy,
+                    n=len(outcomes),
+                    cis={
+                        metric: mean_ci(
+                            [r.value(metric) for r in reports], self.confidence
+                        )
+                        for metric in self.metrics
+                    },
+                    summary=mean_report(reports),
+                )
+            )
+        self._aggregates = result
+        return result
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Display rows: one per case, ``mean ± half-width`` per metric."""
+        return [
+            {
+                "case": agg.context,
+                "policy": agg.policy,
+                "seeds": agg.n,
+                **{metric: _format_ci(ci) for metric, ci in agg.cis.items()},
+            }
+            for agg in self.aggregates()
+        ]
+
+    def summary(self) -> str:
+        served = "all from cache" if self.cache_misses == 0 else (
+            f"{self.cache_hits} from cache, {self.cache_misses} simulated"
+        )
+        return (
+            f"suite {self.suite!r}: {len(self.replications)} replications "
+            f"({served}) in {self.elapsed_seconds:.2f}s"
+        )
+
+
+def _format_ci(ci: CIEstimate) -> str:
+    return f"{ci.mean:.4g} ± {ci.half_width:.3g}"
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def _resolve_suite(suite: Union[str, BenchmarkSuite]) -> BenchmarkSuite:
+    return get_suite(suite) if isinstance(suite, str) else suite
+
+
+def _expand(suite: BenchmarkSuite):
+    """Flatten the suite into (case, seed, scenario, extra, key) tuples."""
+    entries = []
+    for case in suite.cases:
+        for seed, scenario in case.replications():
+            extra = case.store_extra(seed)
+            entries.append((case, seed, scenario, extra, result_key(scenario, extra)))
+    return entries
+
+
+def _policy_mode(policy_spec: str) -> str:
+    """The simulator mode the policy spec dispatches to (space/gang/grid)."""
+    return getattr(scheduler_registry.get(parse_spec(policy_spec)[0]), "mode", "space")
+
+
+def _shared_workloads(ordered) -> List[Optional[Any]]:
+    """One materialized workload per distinct (spec, jobs, size, seed).
+
+    Replications of different policies over the same context share their
+    workload, so resolve it once and hand it to ``run_many`` as an
+    element-wise override.  The override is *unscaled* (``load=None``) so
+    ``run()`` applies the scenario's load scaling exactly as it would from
+    the spec.  Grid-mode scenarios get no override: the grid runner re-seeds
+    the model per site, which an already-materialized workload would defeat.
+    """
+    cache: Dict[tuple, Any] = {}
+    overrides: List[Optional[Any]] = []
+    for _case, _seed, scenario, _extra, _key in ordered:
+        if _policy_mode(scenario.policy) == "grid":
+            overrides.append(None)
+            continue
+        wkey = (scenario.workload, scenario.jobs, scenario.machine_size, scenario.seed)
+        if wkey not in cache:
+            cache[wkey] = resolve_workload(scenario.with_(load=None))
+        overrides.append(cache[wkey])
+    return overrides
+
+
+def run_suite(
+    suite: Union[str, BenchmarkSuite],
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    confidence: float = 0.95,
+) -> SuiteRunResult:
+    """Run a suite (by name or instance), reusing cached replications.
+
+    ``store=None`` disables persistence entirely; with a store, ``use_cache=
+    False`` skips reads but still writes, refreshing every entry.  Runs are
+    fully seeded, so ``workers=N`` reproduces serial results bit-for-bit.
+    """
+    suite = _resolve_suite(suite)
+    started = time.perf_counter()
+    entries = _expand(suite)
+
+    reports: Dict[str, MetricsReport] = {}
+    if store is not None and use_cache:
+        for _case, _seed, _scenario, _extra, key in entries:
+            if key not in reports:
+                hit = store.get(key)
+                if hit is not None:
+                    reports[key] = hit.report
+
+    misses = [e for e in entries if e[4] not in reports]
+    # A key can appear twice when suites overlap; simulate it once.
+    unique_misses: Dict[str, tuple] = {}
+    for entry in misses:
+        unique_misses.setdefault(entry[4], entry)
+    if unique_misses:
+        ordered = list(unique_misses.values())
+        scenario_results = run_many(
+            [scenario for _c, _s, scenario, _e, _k in ordered],
+            workers=workers,
+            workloads=_shared_workloads(ordered),
+            outages=[case.outage_log(seed) for case, seed, _sc, _e, _k in ordered],
+        )
+        amortized = (time.perf_counter() - started) / len(ordered)
+        for (case, seed, scenario, extra, key), scenario_result in zip(
+            ordered, scenario_results
+        ):
+            reports[key] = scenario_result.report
+            if store is not None:
+                store.put(
+                    StoredResult(
+                        key=key,
+                        scenario=scenario,
+                        report=scenario_result.report,
+                        extra=extra,
+                        suite=suite.name,
+                        case=case.name,
+                        elapsed_seconds=amortized,
+                    )
+                )
+
+    # Only the first entry per simulated key counts as a miss: a duplicate
+    # key later in the suite is served from this run's own result, exactly
+    # like a store hit.
+    simulated_once: set = set()
+    outcomes = []
+    for case, seed, scenario, extra, key in entries:
+        freshly_simulated = key in unique_misses and key not in simulated_once
+        if freshly_simulated:
+            simulated_once.add(key)
+        outcomes.append(
+            ReplicationOutcome(
+                case=case,
+                seed=seed,
+                scenario=scenario,
+                key=key,
+                report=reports[key],
+                cached=not freshly_simulated,
+            )
+        )
+    return SuiteRunResult(
+        suite=suite.name,
+        metrics=suite.metrics,
+        confidence=confidence,
+        replications=outcomes,
+        cache_hits=len(entries) - len(unique_misses),
+        cache_misses=len(unique_misses),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# pairwise comparison under common random numbers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric of one context: both CIs, the paired test, the winner."""
+
+    metric: str
+    a: CIEstimate
+    b: CIEstimate
+    paired: PairedComparison
+    #: the policy the significant difference favours (None: not significant)
+    better: Optional[str]
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """All metric verdicts for one workload context."""
+
+    context: str
+    n: int
+    metrics: List[MetricComparison]
+
+    def wins(self, policy: str) -> int:
+        return sum(1 for m in self.metrics if m.better == policy)
+
+
+@dataclass
+class ComparisonResult:
+    """Pairwise comparison of two policies over a suite's contexts."""
+
+    suite: str
+    policy_a: str
+    policy_b: str
+    confidence: float
+    cases: List[CaseComparison]
+    cache_hits: int
+    cache_misses: int
+    elapsed_seconds: float
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for case in self.cases:
+            for m in case.metrics:
+                rows.append(
+                    {
+                        "case": case.context,
+                        "metric": m.metric,
+                        self.policy_a: _format_ci(m.a),
+                        self.policy_b: _format_ci(m.b),
+                        "diff": f"{m.paired.mean_diff:+.4g}",
+                        "p": f"{m.paired.p_value:.3f}",
+                        "verdict": m.better if m.better else "—",
+                    }
+                )
+        return rows
+
+    def summary(self) -> str:
+        lines = []
+        for case in self.cases:
+            a_wins, b_wins = case.wins(self.policy_a), case.wins(self.policy_b)
+            total = len(case.metrics)
+            if a_wins > b_wins:
+                verdict = f"{self.policy_a} better on {a_wins}/{total} metrics"
+            elif b_wins > a_wins:
+                verdict = f"{self.policy_b} better on {b_wins}/{total} metrics"
+            else:
+                verdict = f"no overall winner ({a_wins}/{total} metrics each)"
+            lines.append(
+                f"{case.context} ({case.n} seeds): {verdict} "
+                f"at {self.confidence:.0%} confidence"
+            )
+        served = "all from cache" if self.cache_misses == 0 else (
+            f"{self.cache_hits} from cache, {self.cache_misses} simulated"
+        )
+        lines.append(
+            f"{self.policy_a} vs {self.policy_b} over suite {self.suite!r}: "
+            f"{served}, {self.elapsed_seconds:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+def _better_policy(
+    metric: str, paired: PairedComparison, policy_a: str, policy_b: str
+) -> Optional[str]:
+    """Map a significant difference direction onto the favoured policy."""
+    if paired.direction == 0:
+        return None
+    a_is_larger = paired.direction > 0
+    if metric in MAXIMIZE_METRICS:
+        return policy_a if a_is_larger else policy_b
+    # Metrics default to lower-is-better, matching ObjectiveFunction.
+    return policy_b if a_is_larger else policy_a
+
+
+def compare_policies(
+    suite: Union[str, BenchmarkSuite],
+    policy_a: str,
+    policy_b: str,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    confidence: float = 0.95,
+) -> ComparisonResult:
+    """Compare two policy specs over a suite's workload contexts.
+
+    Every context keeps its own seed list and outage conditions; both
+    policies run all of them (common random numbers), and each suite metric
+    gets a paired-difference significance verdict.
+    """
+    if policy_a == policy_b:
+        raise ValueError("compare needs two distinct policy specs")
+    suite = _resolve_suite(suite)
+    pair_suite = suite.with_policies([policy_a, policy_b])
+    outcome = run_suite(
+        pair_suite,
+        workers=workers,
+        store=store,
+        use_cache=use_cache,
+        confidence=confidence,
+    )
+    grouped = outcome.by_case()
+    cases = []
+    for ctx in pair_suite.contexts():
+        reports_a = [o.report for o in grouped[f"{ctx.context}/{policy_a}"]]
+        reports_b = [o.report for o in grouped[f"{ctx.context}/{policy_b}"]]
+        metric_comparisons = []
+        for metric in pair_suite.metrics:
+            values_a = [r.value(metric) for r in reports_a]
+            values_b = [r.value(metric) for r in reports_b]
+            paired = paired_comparison(values_a, values_b, confidence)
+            metric_comparisons.append(
+                MetricComparison(
+                    metric=metric,
+                    a=mean_ci(values_a, confidence),
+                    b=mean_ci(values_b, confidence),
+                    paired=paired,
+                    better=_better_policy(metric, paired, policy_a, policy_b),
+                )
+            )
+        cases.append(
+            CaseComparison(
+                context=ctx.context, n=len(reports_a), metrics=metric_comparisons
+            )
+        )
+    return ComparisonResult(
+        suite=suite.name,
+        policy_a=policy_a,
+        policy_b=policy_b,
+        confidence=confidence,
+        cases=cases,
+        cache_hits=outcome.cache_hits,
+        cache_misses=outcome.cache_misses,
+        elapsed_seconds=outcome.elapsed_seconds,
+    )

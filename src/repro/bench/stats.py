@@ -1,0 +1,312 @@
+"""Replication statistics for benchmark suites, in pure python.
+
+The paper's methodological complaint is that single-run comparisons are
+statistically meaningless: two schedulers are only distinguishable if the
+difference between them is large against the replication-to-replication
+noise.  This module provides the three estimators the suite runner needs —
+
+* :func:`mean_ci` — mean with a Student-t confidence interval (the correct
+  small-sample interval; suites run 3-10 replications, far too few for the
+  normal approximation),
+* :func:`bootstrap_ci` — percentile bootstrap for statistics with no
+  analytic interval (medians, percentiles),
+* :func:`paired_comparison` — paired-difference t-test under common random
+  numbers: both policies see the *same* seeds, so differencing per seed
+  cancels the workload-to-workload variance and a significance verdict is
+  possible with a handful of replications.
+
+Everything is pure python (``math`` only): the Student-t CDF is computed
+through the regularized incomplete beta function (continued fraction), and
+quantiles by bisection on the CDF, so the intervals are exact rather than
+normal-approximate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "CIEstimate",
+    "PairedComparison",
+    "mean_ci",
+    "bootstrap_ci",
+    "paired_comparison",
+    "student_t_cdf",
+    "student_t_quantile",
+]
+
+
+# ----------------------------------------------------------------------
+# Student-t distribution
+# ----------------------------------------------------------------------
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Continued-fraction expansion for the incomplete beta (Lentz's method)."""
+    max_iterations = 300
+    epsilon = 3e-14
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iterations + 1):
+        m2 = 2 * m
+        numerator = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        numerator = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < epsilon:
+            break
+    return h
+
+
+def _regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """I_x(a, b), the regularized incomplete beta function."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    log_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(log_front)
+    # Use the expansion on whichever side converges fast, reflect otherwise.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def student_t_cdf(t: float, df: float) -> float:
+    """P(T <= t) for Student's t with ``df`` degrees of freedom."""
+    if df <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if t == 0.0:
+        return 0.5
+    tail = 0.5 * _regularized_incomplete_beta(df / 2.0, 0.5, df / (df + t * t))
+    return 1.0 - tail if t > 0 else tail
+
+
+def student_t_quantile(p: float, df: float) -> float:
+    """The value t with ``student_t_cdf(t, df) == p``, by bisection."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be strictly between 0 and 1")
+    if df <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if p == 0.5:
+        return 0.0
+    if p < 0.5:
+        return -student_t_quantile(1.0 - p, df)
+    lo, hi = 0.0, 1.0
+    while student_t_cdf(hi, df) < p:
+        hi *= 2.0
+        if hi > 1e12:  # pragma: no cover - p astronomically close to 1
+            break
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if student_t_cdf(mid, df) < p:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-12 * max(1.0, hi):
+            break
+    return 0.5 * (lo + hi)
+
+
+# ----------------------------------------------------------------------
+# interval estimators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CIEstimate:
+    """A point estimate with a symmetric-or-not confidence interval."""
+
+    mean: float
+    lo: float
+    hi: float
+    n: int
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        return 0.5 * (self.hi - self.lo)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.3g}"
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _sample_std(values: Sequence[float], mean: float) -> float:
+    if len(values) < 2:
+        return 0.0
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> CIEstimate:
+    """Mean of ``values`` with a Student-t confidence interval.
+
+    With fewer than two samples the interval collapses to the point estimate
+    (there is no variance information, not evidence of zero variance).
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("mean_ci needs at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be strictly between 0 and 1")
+    mean = _mean(values)
+    n = len(values)
+    if n < 2:
+        return CIEstimate(mean=mean, lo=mean, hi=mean, n=n, confidence=confidence)
+    half = (
+        student_t_quantile(0.5 + confidence / 2.0, n - 1)
+        * _sample_std(values, mean)
+        / math.sqrt(n)
+    )
+    return CIEstimate(mean=mean, lo=mean - half, hi=mean + half, n=n, confidence=confidence)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Optional[Callable[[Sequence[float]], float]] = None,
+    confidence: float = 0.95,
+    replicates: int = 2000,
+    seed: int = 0,
+) -> CIEstimate:
+    """Percentile-bootstrap interval for an arbitrary ``statistic``.
+
+    The default statistic is the mean; pass e.g. a median for statistics
+    with no analytic small-sample interval.  Resampling uses a private
+    ``random.Random(seed)`` — never the global generator — so results are
+    reproducible and cannot perturb simulation seeding.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("bootstrap_ci needs at least one value")
+    if statistic is None:
+        statistic = _mean
+    rng = random.Random(seed)
+    n = len(values)
+    estimates = sorted(
+        statistic([values[rng.randrange(n)] for _ in range(n)])
+        for _ in range(replicates)
+    )
+    alpha = 1.0 - confidence
+    lo = estimates[int(math.floor(alpha / 2.0 * (replicates - 1)))]
+    hi = estimates[int(math.ceil((1.0 - alpha / 2.0) * (replicates - 1)))]
+    return CIEstimate(
+        mean=statistic(values), lo=lo, hi=hi, n=n, confidence=confidence
+    )
+
+
+# ----------------------------------------------------------------------
+# paired comparison under common random numbers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired-difference verdict for one metric of two policies, A versus B.
+
+    ``mean_diff`` is ``mean(A_i - B_i)`` over the common seeds; ``direction``
+    is the sign of a *significant* difference (+1: A larger, -1: A smaller,
+    0: not significant at the requested confidence).
+    """
+
+    n: int
+    mean_diff: float
+    lo: float
+    hi: float
+    t_stat: float
+    p_value: float
+    confidence: float
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < (1.0 - self.confidence)
+
+    @property
+    def direction(self) -> int:
+        if not self.significant or self.mean_diff == 0.0:
+            return 0
+        return 1 if self.mean_diff > 0 else -1
+
+    @property
+    def verdict(self) -> str:
+        if self.direction > 0:
+            return "A > B"
+        if self.direction < 0:
+            return "A < B"
+        return "no significant difference"
+
+
+def paired_comparison(
+    a_values: Sequence[float],
+    b_values: Sequence[float],
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Paired t-test of ``A - B`` where index i of both ran the same seed.
+
+    Differencing per seed cancels the between-seed variance — the whole
+    point of evaluating both policies under common random numbers — so the
+    test is far more powerful than comparing the two means independently.
+    """
+    if len(a_values) != len(b_values):
+        raise ValueError(
+            f"paired comparison needs equal-length samples "
+            f"(got {len(a_values)} and {len(b_values)})"
+        )
+    if len(a_values) < 2:
+        raise ValueError("paired comparison needs at least two replications")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be strictly between 0 and 1")
+    diffs = [float(a) - float(b) for a, b in zip(a_values, b_values)]
+    n = len(diffs)
+    mean_diff = _mean(diffs)
+    std = _sample_std(diffs, mean_diff)
+    se = std / math.sqrt(n)
+    t_crit = student_t_quantile(0.5 + confidence / 2.0, n - 1)
+    if se == 0.0:
+        # All differences identical: either exactly zero (indistinguishable)
+        # or a constant shift (different with certainty, as far as the data
+        # can say).
+        p_value = 1.0 if mean_diff == 0.0 else 0.0
+        t_stat = 0.0 if mean_diff == 0.0 else math.copysign(math.inf, mean_diff)
+        return PairedComparison(
+            n=n, mean_diff=mean_diff, lo=mean_diff, hi=mean_diff,
+            t_stat=t_stat, p_value=p_value, confidence=confidence,
+        )
+    t_stat = mean_diff / se
+    p_value = 2.0 * (1.0 - student_t_cdf(abs(t_stat), n - 1))
+    half = t_crit * se
+    return PairedComparison(
+        n=n,
+        mean_diff=mean_diff,
+        lo=mean_diff - half,
+        hi=mean_diff + half,
+        t_stat=t_stat,
+        p_value=p_value,
+        confidence=confidence,
+    )

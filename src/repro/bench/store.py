@@ -1,0 +1,217 @@
+"""Content-addressed on-disk store for benchmark replication results.
+
+A replication is fully determined by its :class:`~repro.api.scenario.Scenario`
+(which round-trips through JSON exactly — PR 1 built that property for
+precisely this use), any non-scenario conditions (a generated outage log's
+parameters), and the code that ran it.  So the cache key is
+
+    sha256(canonical JSON of {scenario, extra, code version})
+
+and a stored entry can be reused by any later suite run — including a
+*different* suite whose cases overlap — without ever re-running the
+simulator.  Entries store the lossless :meth:`MetricsReport.to_json` form,
+not the rounded display dict, so cached statistics are bit-identical to
+freshly computed ones.
+
+Bump :data:`STORE_VERSION` whenever simulator semantics change in a way that
+invalidates old results; the package version is folded in as well, so
+releases never serve stale entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.api.scenario import Scenario
+from repro.metrics.basic import MetricsReport
+
+__all__ = [
+    "STORE_VERSION",
+    "ResultStore",
+    "StoredResult",
+    "result_key",
+    "family_key",
+    "code_version",
+    "default_store_root",
+]
+
+#: Cache-format / simulator-semantics version; bump to invalidate the store.
+STORE_VERSION = "v1"
+
+#: Environment variable overriding the default store location.
+STORE_ENV_VAR = "REPRO_BENCH_STORE"
+
+
+def code_version() -> str:
+    """The code-version component of every cache key."""
+    from repro import __version__
+
+    return f"{__version__}+bench-{STORE_VERSION}"
+
+
+def default_store_root() -> Path:
+    """``$REPRO_BENCH_STORE`` if set, else ``~/.cache/repro-bench``."""
+    override = os.environ.get(STORE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-bench"
+
+
+def _canonical_hash(material: Dict[str, Any]) -> str:
+    text = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def result_key(scenario: Scenario, extra: Optional[Dict[str, Any]] = None) -> str:
+    """The content address of one replication: scenario + conditions + code.
+
+    The cosmetic ``name`` label is excluded — it never reaches the
+    simulator, and hashing it would stop suites with different case labels
+    from sharing entries for identical simulations.
+    """
+    return _canonical_hash(
+        {
+            "scenario": scenario.with_(name=None).to_dict(),
+            "extra": extra or {},
+            "code": code_version(),
+        }
+    )
+
+
+def family_key(scenario: Scenario, extra: Optional[Dict[str, Any]] = None) -> str:
+    """The content address of a replication *family*: identity minus the seed.
+
+    Entries of one family differ only in replication seed, so aggregating
+    them into a mean ± CI is statistically meaningful; mixing families is
+    not.  ``bench report`` groups by this.
+    """
+    extra = dict(extra or {})
+    if "outages" in extra:
+        extra["outages"] = {
+            k: v for k, v in extra["outages"].items() if k != "seed"
+        }
+    return _canonical_hash(
+        {
+            "scenario": scenario.with_(name=None, seed=None).to_dict(),
+            "extra": extra,
+            "code": code_version(),
+        }
+    )
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One cached replication: its identity, conditions, and metric report."""
+
+    key: str
+    scenario: Scenario
+    report: MetricsReport
+    #: non-scenario key material (e.g. outage-generation parameters)
+    extra: Dict[str, Any]
+    #: suite/case labels recorded for ``bench report`` grouping
+    suite: str = ""
+    case: str = ""
+    elapsed_seconds: float = 0.0
+    #: code version that produced the entry (filled on load; lets readers
+    #: skip stale generations without recomputing keys)
+    code: str = ""
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "format": STORE_VERSION,
+            "code": code_version(),
+            "key": self.key,
+            "suite": self.suite,
+            "case": self.case,
+            "elapsed_seconds": self.elapsed_seconds,
+            "scenario": self.scenario.to_dict(),
+            "extra": self.extra,
+            "report": self.report.to_json(),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "StoredResult":
+        return cls(
+            key=record["key"],
+            scenario=Scenario.from_dict(record["scenario"]),
+            report=MetricsReport.from_json(record["report"]),
+            extra=record.get("extra", {}),
+            suite=record.get("suite", ""),
+            case=record.get("case", ""),
+            elapsed_seconds=record.get("elapsed_seconds", 0.0),
+            code=record.get("code", ""),
+        )
+
+
+class ResultStore:
+    """Flat content-addressed file store: ``root/<key[:2]>/<key>.json``.
+
+    Writes go through a same-directory temp file + ``os.replace`` so a
+    killed run can never leave a half-written entry that later poisons the
+    cache.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[StoredResult]:
+        """The stored result under ``key``, or None on miss/corrupt entry."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            return StoredResult.from_record(record)
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError):
+            # A corrupt or stale-format entry is a miss, not an error: the
+            # replication reruns and the entry is rewritten.
+            return None
+
+    def put(self, entry: StoredResult) -> Path:
+        """Persist ``entry`` atomically; returns the file path.
+
+        The temp name is unique per writer (not per key), so two processes
+        sharing a store and racing on the same key each publish a complete
+        record — last ``os.replace`` wins — instead of interleaving writes.
+        """
+        path = self.path_for(entry.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f"{entry.key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry.to_record(), handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def entries(self) -> Iterator[StoredResult]:
+        """Every readable entry in the store (``bench report`` input)."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            entry = self.get(path.stem)
+            if entry is not None:
+                yield entry

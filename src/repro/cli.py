@@ -14,6 +14,9 @@ experiment — are all available from the shell::
     python -m repro.cli simulate  lublin99:jobs=2000,seed=1 --policy gang:slots=3 --load 0.8
     python -m repro.cli run       scenarios.json --workers 4
     python -m repro.cli experiment e03
+    python -m repro.cli bench run smoke --workers 2
+    python -m repro.cli bench compare fcfs backfill --suite std-space
+    python -m repro.cli bench report
 
 Policies and workload models are resolved through the registries in
 :mod:`repro.api` — every registered name is reachable, and spec strings
@@ -131,6 +134,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_experiment = sub.add_parser("experiment", help="run one of the E1..E10 experiment harnesses")
     p_experiment.add_argument("which", choices=EXPERIMENTS)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="standardized benchmark suites: cached replications, CIs, verdicts",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    def _bench_common(sub_parser) -> None:
+        sub_parser.add_argument("--workers", type=int, default=None, help="fan out over N processes")
+        sub_parser.add_argument(
+            "--no-cache", action="store_true",
+            help="ignore cached results (fresh runs still refresh the store)",
+        )
+        sub_parser.add_argument(
+            "--store", default=None,
+            help="result-store directory (default: $REPRO_BENCH_STORE or ~/.cache/repro-bench)",
+        )
+        sub_parser.add_argument("--confidence", type=float, default=0.95)
+        sub_parser.add_argument("--json", dest="json_out", default=None, help="write the machine-readable result here")
+        sub_parser.add_argument("--markdown", dest="markdown_out", default=None, help="write the markdown report here")
+
+    from repro.bench.suite import suite_names
+
+    b_run = bench_sub.add_parser("run", help="run a registered suite with cached replications")
+    b_run.add_argument("suite", help=f"suite name; registered: {', '.join(suite_names())}")
+    _bench_common(b_run)
+
+    b_compare = bench_sub.add_parser(
+        "compare", help="paired-difference comparison of two policies over a suite"
+    )
+    b_compare.add_argument("policy_a", help="first policy spec (e.g. fcfs)")
+    b_compare.add_argument("policy_b", help="second policy spec (e.g. backfill)")
+    b_compare.add_argument("--suite", required=True, help="suite whose contexts and seeds to use")
+    _bench_common(b_compare)
+
+    b_report = bench_sub.add_parser(
+        "report", help="aggregate everything in the result store (no simulation)"
+    )
+    b_report.add_argument("--suite", default=None, help="restrict to one suite")
+    b_report.add_argument(
+        "--store", default=None,
+        help="result-store directory (default: $REPRO_BENCH_STORE or ~/.cache/repro-bench)",
+    )
+    b_report.add_argument("--confidence", type=float, default=0.95)
+    b_report.add_argument("--markdown", dest="markdown_out", default=None, help="write the markdown report here")
 
     return parser
 
@@ -263,6 +311,65 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _write_text(path: Optional[str], text: str) -> None:
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.report import (
+        comparison_json,
+        comparison_markdown,
+        report_from_store,
+        suite_json,
+        suite_markdown,
+        to_json_text,
+    )
+    from repro.bench.runner import compare_policies, run_suite
+    from repro.bench.store import ResultStore
+    from repro.evaluation import format_table
+
+    store = ResultStore(args.store)
+    try:
+        if args.bench_command == "run":
+            result = run_suite(
+                args.suite,
+                workers=args.workers,
+                store=store,
+                use_cache=not args.no_cache,
+                confidence=args.confidence,
+            )
+            print(format_table(result.rows()))
+            print(result.summary() + f"; store: {store.root}")
+            _write_text(args.json_out, to_json_text(suite_json(result)))
+            _write_text(args.markdown_out, suite_markdown(result))
+        elif args.bench_command == "compare":
+            result = compare_policies(
+                args.suite,
+                args.policy_a,
+                args.policy_b,
+                workers=args.workers,
+                store=store,
+                use_cache=not args.no_cache,
+                confidence=args.confidence,
+            )
+            print(format_table(result.rows()))
+            print(result.summary())
+            _write_text(args.json_out, to_json_text(comparison_json(result)))
+            _write_text(args.markdown_out, comparison_markdown(result))
+        else:  # report
+            text = report_from_store(
+                store, suite=args.suite, confidence=args.confidence
+            )
+            print(text)
+            _write_text(args.markdown_out, text)
+    except (RegistryError, ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from repro import experiments as exp
 
@@ -292,6 +399,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "run": _cmd_run,
     "experiment": _cmd_experiment,
+    "bench": _cmd_bench,
 }
 
 

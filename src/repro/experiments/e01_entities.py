@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.bench.seeds import derive_seeds
 from repro.grid import (
     GridSimulation,
     LeastLoadedMetaScheduler,
@@ -71,13 +72,14 @@ def run(
     seed: int = 1,
 ) -> EntitiesResult:
     """Build the Figure 1 hierarchy and route local + meta jobs through it."""
+    site_seeds = derive_seeds(seed, sites)
     site_objects = [
         Site(
             name=f"site-{i + 1}",
             machine_size=machine_size,
             scheduler=EasyBackfillScheduler(outage_aware=True),
             local_workload=Lublin99Model(machine_size=machine_size).generate_with_load(
-                local_jobs_per_site, load, seed=seed + i
+                local_jobs_per_site, load, seed=site_seeds[i]
             ),
         )
         for i in range(sites)

@@ -2,9 +2,15 @@
 
 The paper notes that objective functions "that only differ in the selection
 of a weight" can rank scheduling algorithms differently.  This experiment
-evaluates a roster of policies once on a fixed workload, then sweeps the
+evaluates a roster of policies on a fixed workload context, then sweeps the
 weights of a composite objective (wait time, bounded slowdown, utilization)
 and reports which policy each weighting prefers.
+
+Replications run through the benchmark suite runner
+(:func:`repro.bench.runner.run_suite`): every policy is evaluated over a
+common derived seed list, objectives are computed on across-seed means, and
+the per-metric Student-t intervals are exposed so a "winner" can be read
+against the replication noise.
 
 Expected shape: the winner changes across the weight sweep — utilization-
 heavy weightings prefer the packing-oriented policies, slowdown-heavy
@@ -14,9 +20,14 @@ weightings prefer the ones that favour short jobs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.api import Scenario, resolve_workload, run as run_scenario
+from repro.api import Scenario
+from repro.bench.runner import run_suite
+from repro.bench.seeds import derive_seeds
+from repro.bench.stats import CIEstimate
+from repro.bench.store import ResultStore
+from repro.bench.suite import BenchmarkCase, BenchmarkSuite
 from repro.metrics import MetricsReport, ObjectiveFunction, rank_schedulers
 
 __all__ = ["ObjectiveWeightsResult", "run", "DEFAULT_WEIGHTINGS"]
@@ -38,10 +49,16 @@ DEFAULT_WEIGHTINGS: Tuple[Tuple[str, Dict[str, float]], ...] = (
 
 @dataclass
 class ObjectiveWeightsResult:
-    """Winner and full ranking per objective weighting."""
+    """Winner and full ranking per objective weighting.
+
+    ``reports`` are across-seeds mean reports (one per policy);
+    ``cis[scheduler][metric]`` holds the matching Student-t intervals.
+    """
 
     reports: List[MetricsReport]
     rankings: Dict[str, List[str]]
+    cis: Dict[str, Dict[str, CIEstimate]]
+    replications: int = 1
 
     @property
     def winners(self) -> Dict[str, str]:
@@ -69,21 +86,49 @@ def run(
     load: float = 0.8,
     weightings: Sequence[Tuple[str, Dict[str, float]]] = DEFAULT_WEIGHTINGS,
     seed: int = 4,
+    replications: int = 3,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> ObjectiveWeightsResult:
-    """Evaluate the policy roster once, then rank it under each weighting."""
-    base_scenario = Scenario(
-        workload=f"lublin99:jobs={jobs},seed={seed}", machine_size=machine_size, load=load
+    """Evaluate the roster over replications, then rank it under each weighting.
+
+    All policies share the derived seed list (common random numbers), so the
+    rankings compare like with like; pass a :class:`ResultStore` to reuse
+    cached replications across invocations.
+    """
+    seeds = tuple(derive_seeds(seed, replications))
+    context = f"lublin99@{load:.2f}"
+    scenario = Scenario(
+        workload="lublin99", machine_size=machine_size, jobs=jobs, load=load
     )
-    workload = resolve_workload(base_scenario)
-    # load=None per run: the shared override is already rescaled to target.
-    reports = [
-        run_scenario(base_scenario.with_(policy=policy, load=None), workload=workload).report
-        for policy in POLICIES
-    ]
+    suite = BenchmarkSuite(
+        name="e04-objective-weights",
+        description="E4 replication suite: the roster on one workload context.",
+        cases=tuple(
+            BenchmarkCase(
+                context=context,
+                scenario=scenario.with_(policy=policy),
+                seeds=seeds,
+            )
+            for policy in POLICIES
+        ),
+        metrics=("mean_wait", "mean_bounded_slowdown", "utilization"),
+    )
+    outcome = run_suite(suite, workers=workers, store=store)
+    aggregates = {agg.case: agg for agg in outcome.aggregates()}
+    ordered = [aggregates[f"{context}/{policy}"] for policy in POLICIES]
+    reports = [agg.summary for agg in ordered]
+    cis = {agg.summary.scheduler: agg.cis for agg in ordered}
+
     # Normalize every objective to the FCFS baseline so weights are unitless.
     baseline = next(r for r in reports if r.scheduler == "fcfs")
     rankings: Dict[str, List[str]] = {}
     for label, weights in weightings:
         objective = ObjectiveFunction(weights=weights, name=label).normalized_to(baseline)
         rankings[label] = rank_schedulers(reports, objective=objective)
-    return ObjectiveWeightsResult(reports=reports, rankings=rankings)
+    return ObjectiveWeightsResult(
+        reports=reports,
+        rankings=rankings,
+        cis=cis,
+        replications=replications,
+    )

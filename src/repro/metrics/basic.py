@@ -15,8 +15,8 @@ capacity, not by nominal capacity.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -57,7 +57,12 @@ class MetricsReport:
     tau: float = DEFAULT_TAU
 
     def as_dict(self) -> Dict[str, float]:
-        """Flat dictionary used when printing experiment tables."""
+        """Rounded *display* view used when printing experiment tables.
+
+        This intentionally drops the median columns and rounds for table
+        width; it is not a serialization format.  Use :meth:`to_json` /
+        :meth:`from_json` for a lossless round trip.
+        """
         return {
             "scheduler": self.scheduler,
             "jobs": self.jobs,
@@ -71,6 +76,30 @@ class MetricsReport:
             "throughput_per_hour": round(self.throughput_per_hour, 2),
             "makespan": round(self.makespan, 0),
         }
+
+    def to_json(self) -> Dict[str, Any]:
+        """Lossless JSON-serializable dict: every field, full precision.
+
+        Inverse of :meth:`from_json`; this is what the benchmark result
+        store persists, so cached metrics are bit-identical to fresh ones.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "MetricsReport":
+        """Rebuild from :meth:`to_json` output; unknown or missing keys raise."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown MetricsReport field(s): {', '.join(sorted(unknown))}"
+            )
+        missing = known - set(data)
+        if missing:
+            raise ValueError(
+                f"missing MetricsReport field(s): {', '.join(sorted(missing))}"
+            )
+        return cls(**dict(data))
 
     def value(self, metric: str) -> float:
         """Look up a metric by name (the names used by objective functions)."""

@@ -38,9 +38,13 @@ from repro.schedulers.base import (
 __all__ = ["EasyBackfillScheduler", "ConservativeBackfillScheduler"]
 
 
-@register_scheduler("easy", "easy-backfill")
+@register_scheduler("easy", "easy-backfill", "backfill")
 class EasyBackfillScheduler(Scheduler):
-    """EASY (aggressive) backfilling: one reservation, for the queue head."""
+    """EASY (aggressive) backfilling: one reservation, for the queue head.
+
+    Registered as plain ``backfill`` too: EASY is *the* canonical
+    backfilling policy, so benchmark specs can name it generically.
+    """
 
     name = "easy-backfill"
 

@@ -1,0 +1,34 @@
+"""Tests for deterministic seed derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.seeds import derive_seeds
+
+
+class TestDeriveSeeds:
+    def test_deterministic(self):
+        assert derive_seeds(3, 10) == derive_seeds(3, 10)
+
+    def test_prefix_stable(self):
+        # Growing the replication count extends the list, never reshuffles.
+        assert derive_seeds(7, 10)[:4] == derive_seeds(7, 4)
+
+    def test_distinct_within_and_across_bases(self):
+        seeds = derive_seeds(0, 1000)
+        assert len(set(seeds)) == 1000
+        assert not set(seeds) & set(derive_seeds(1, 1000))
+
+    def test_neighbouring_bases_do_not_overlap(self):
+        # The seed+i anti-pattern this replaces: bases 3 and 4 would share
+        # all but one of their replications.
+        assert not set(derive_seeds(3, 8)) & set(derive_seeds(4, 8))
+
+    def test_values_fit_every_rng(self):
+        assert all(0 <= s < 2**31 for s in derive_seeds(123456789, 200))
+
+    def test_empty_and_negative(self):
+        assert derive_seeds(5, 0) == []
+        with pytest.raises(ValueError):
+            derive_seeds(5, -1)

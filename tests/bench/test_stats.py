@@ -1,0 +1,146 @@
+"""Tests for the pure-python replication statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.stats import (
+    bootstrap_ci,
+    mean_ci,
+    paired_comparison,
+    student_t_cdf,
+    student_t_quantile,
+)
+
+
+class TestStudentT:
+    # Published two-tailed 95% critical values (p = 0.975 one-sided).
+    KNOWN_QUANTILES = {
+        1: 12.7062,
+        2: 4.30265,
+        4: 2.77645,
+        9: 2.26216,
+        30: 2.04227,
+        1000: 1.96234,
+    }
+
+    def test_known_quantiles(self):
+        for df, expected in self.KNOWN_QUANTILES.items():
+            assert student_t_quantile(0.975, df) == pytest.approx(expected, abs=1e-4)
+
+    def test_symmetry_and_median(self):
+        assert student_t_quantile(0.5, 7) == 0.0
+        assert student_t_quantile(0.025, 7) == pytest.approx(
+            -student_t_quantile(0.975, 7), abs=1e-10
+        )
+
+    def test_cdf_quantile_round_trip(self):
+        for df in (1, 3, 12):
+            for p in (0.6, 0.9, 0.99):
+                assert student_t_cdf(student_t_quantile(p, df), df) == pytest.approx(p, abs=1e-9)
+
+    def test_heavier_tails_than_normal(self):
+        # t critical values decrease toward z = 1.96 as df grows.
+        values = [student_t_quantile(0.975, df) for df in (2, 5, 20, 200)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] > 1.9599
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            student_t_quantile(0.0, 5)
+        with pytest.raises(ValueError):
+            student_t_quantile(0.5, 0)
+
+
+class TestMeanCI:
+    def test_textbook_interval(self):
+        # mean 3, sample sd sqrt(2.5), t_{0.975,4} = 2.77645.
+        ci = mean_ci([1, 2, 3, 4, 5])
+        assert ci.mean == 3.0
+        expected_half = 2.77645 * math.sqrt(2.5) / math.sqrt(5)
+        assert ci.half_width == pytest.approx(expected_half, abs=1e-4)
+        assert ci.lo == pytest.approx(3.0 - expected_half, abs=1e-4)
+
+    def test_single_sample_collapses(self):
+        ci = mean_ci([42.0])
+        assert (ci.mean, ci.lo, ci.hi) == (42.0, 42.0, 42.0)
+
+    def test_higher_confidence_widens(self):
+        data = [1.0, 2.0, 4.0, 8.0]
+        assert mean_ci(data, 0.99).half_width > mean_ci(data, 0.90).half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+
+class TestBootstrap:
+    def test_deterministic_given_seed(self):
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        a = bootstrap_ci(data, seed=7)
+        assert a == bootstrap_ci(data, seed=7)
+        assert a.lo <= a.mean <= a.hi
+
+    def test_custom_statistic(self):
+        data = [1.0, 2.0, 3.0, 4.0, 100.0]
+
+        def median(values):
+            ordered = sorted(values)
+            return ordered[len(ordered) // 2]
+
+        ci = bootstrap_ci(data, statistic=median, seed=1)
+        assert ci.mean == 3.0
+        assert ci.hi <= 100.0
+
+
+class TestPairedComparison:
+    def test_clear_difference_is_significant(self):
+        a = [5.1, 5.2, 4.9, 5.0, 5.1]
+        b = [4.0, 4.1, 3.9, 4.05, 4.0]
+        cmp = paired_comparison(a, b)
+        assert cmp.significant
+        assert cmp.direction == 1
+        assert cmp.verdict == "A > B"
+        assert cmp.mean_diff == pytest.approx(1.05, abs=1e-9)
+        assert cmp.lo > 0
+
+    def test_sign_flips_with_order(self):
+        a = [1.0, 1.1, 0.9, 1.05]
+        b = [2.0, 2.2, 1.9, 2.1]
+        assert paired_comparison(a, b).direction == -1
+        assert paired_comparison(b, a).direction == 1
+
+    def test_noise_is_not_significant(self):
+        a = [5.1, 4.8, 5.2, 4.9, 5.0]
+        b = [5.0, 5.1, 4.9, 5.2, 4.85]
+        cmp = paired_comparison(a, b)
+        assert not cmp.significant
+        assert cmp.direction == 0
+        assert cmp.verdict == "no significant difference"
+
+    def test_pairing_beats_unpaired_comparison(self):
+        # Huge between-seed variance, small consistent shift: only the
+        # paired test (common random numbers) can see it.
+        base = [10.0, 200.0, 3000.0, 45.0, 800.0]
+        shifts = [1.0, 1.2, 0.8, 1.1, 0.9]
+        a = [v + s for v, s in zip(base, shifts)]
+        cmp = paired_comparison(a, base)
+        assert cmp.significant and cmp.direction == 1
+        # The unpaired intervals overlap almost entirely.
+        assert mean_ci(a).lo < mean_ci(base).hi
+
+    def test_identical_samples(self):
+        cmp = paired_comparison([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert not cmp.significant
+        assert cmp.p_value == 1.0
+
+    def test_constant_shift_with_zero_variance(self):
+        cmp = paired_comparison([2.0, 3.0, 4.0], [1.0, 2.0, 3.0])
+        assert cmp.significant
+        assert cmp.direction == 1
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            paired_comparison([1.0, 2.0], [1.0])

@@ -15,17 +15,19 @@ from repro.grid import (
     Site,
     generate_meta_jobs,
 )
+from repro.bench.seeds import derive_seeds
 from repro.schedulers import EasyBackfillScheduler, FCFSScheduler
 from repro.workloads import Lublin99Model
 
 
 def make_sites(count=2, size=64, local_jobs=0, load=0.5, seed=100, outage_aware=True):
     sites = []
+    site_seeds = derive_seeds(seed, count)
     for i in range(count):
         workload = None
         if local_jobs:
             workload = Lublin99Model(machine_size=size).generate_with_load(
-                local_jobs, load, seed=seed + i
+                local_jobs, load, seed=site_seeds[i]
             )
         sites.append(
             Site(

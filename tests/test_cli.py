@@ -166,3 +166,43 @@ class TestRunScenarios:
         converted = parse_swf(out_path)
         assert len(converted) == 2
         assert converted.header.computer == "Test SP2"
+
+
+class TestBenchCommands:
+    def test_bench_run_smoke_and_cache_reuse(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        json_out = tmp_path / "run.json"
+        markdown_out = tmp_path / "run.md"
+        assert main(["bench", "run", "smoke", "--store", str(store),
+                     "--json", str(json_out), "--markdown", str(markdown_out)]) == 0
+        out = capsys.readouterr().out
+        assert "suite 'smoke'" in out and "±" in out
+        first = json.loads(json_out.read_text())
+        assert first["cache_misses"] == len(first["cases"]) * first["cases"][0]["seeds"]
+        assert "# Benchmark suite `smoke`" in markdown_out.read_text()
+        # Second invocation is served entirely from the store.
+        assert main(["bench", "run", "smoke", "--store", str(store),
+                     "--json", str(json_out)]) == 0
+        second = json.loads(json_out.read_text())
+        assert second["cache_misses"] == 0
+        assert second["cache_hits"] == first["cache_misses"]
+        assert second["cases"] == first["cases"]
+
+    def test_bench_compare_prints_verdict(self, tmp_path, capsys):
+        assert main(["bench", "compare", "fcfs", "backfill", "--suite", "smoke",
+                     "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "fcfs vs backfill" in out
+        assert "confidence" in out
+
+    def test_bench_report_aggregates_store(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["bench", "run", "smoke", "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "report", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "`smoke`" in out and "±" in out
+
+    def test_bench_unknown_suite_fails_with_suggestion(self, tmp_path, capsys):
+        assert main(["bench", "run", "smokey", "--store", str(tmp_path)]) == 2
+        assert "did you mean" in capsys.readouterr().err
