@@ -46,6 +46,7 @@ from repro.evaluation.simulator import simulate
 from repro.metrics.basic import MetricsReport, compute_metrics
 from repro.schedulers.base import Scheduler
 from repro.schedulers.gang import simulate_gang
+from repro.util import looks_like_swf_path as _looks_like_path
 
 __all__ = ["ScenarioResult", "GridPolicy", "run", "run_many", "resolve_workload"]
 
@@ -119,13 +120,6 @@ class GridPolicy:
 # ----------------------------------------------------------------------
 # workload materialization
 # ----------------------------------------------------------------------
-def _looks_like_path(spec: str) -> bool:
-    return (
-        "/" in spec
-        or "\\" in spec
-        or spec.endswith(".swf")
-        or spec.endswith(".swf.gz")
-    )
 
 
 def resolve_workload(scenario: Scenario, seed: Optional[int] = None) -> Workload:
@@ -142,6 +136,14 @@ def resolve_workload(scenario: Scenario, seed: Optional[int] = None) -> Workload
 def _resolve_spec(scenario: Scenario, seed: Optional[int] = None) -> Workload:
     """Materialize the workload spec itself (without load scaling)."""
     spec = scenario.workload
+    if spec.startswith("trace:"):
+        # Catalog traces materialize through the content-addressed trace
+        # cache: the digest pins source and pipeline, so repeated runs (and
+        # run_many workers) parse one canonical SWF file instead of
+        # regenerating, and are bit-for-bit identical either way.
+        from repro.traces import trace_for_scenario
+
+        return trace_for_scenario(scenario, seed=seed).materialize()
     if spec.startswith("swf:"):
         return parse_swf(spec[len("swf:"):])
     if _looks_like_path(spec):

@@ -9,9 +9,12 @@ scenario dicts; a distributed run is the same list shipped to workers.
 The ``workload`` field is a spec string naming either
 
 * a registered workload model (``"lublin99"``, ``"lublin99:jobs=5000,seed=1"``),
-* a synthetic archive (``"ctc-sp2"``), or
+* a synthetic archive (``"ctc-sp2"``),
 * an SWF trace on disk (``"swf:path/to/trace.swf"``, or any string that looks
-  like a path — contains a separator or ends in ``.swf``).
+  like a path — contains a separator or ends in ``.swf``), or
+* a catalog trace with an optional transformation pipeline
+  (``"trace:ctc-sp2,load=1.2,slice=0:7d"`` — see :mod:`repro.traces`):
+  content-addressed, cached on disk, and seed-deterministic end to end.
 
 The ``policy`` field is a scheduler spec string (``"easy"``, ``"sjf:strict=true"``,
 ``"gang:slots=3"``, ``"grid:meta=earliest-start,reservations=true"``); the

@@ -14,7 +14,7 @@ import json
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.bench.runner import ComparisonResult, SuiteRunResult
-from repro.bench.stats import mean_ci
+from repro.bench.stats import metric_ci
 from repro.bench.store import ResultStore, code_version, family_key
 from repro.bench.suite import DEFAULT_METRICS
 
@@ -50,8 +50,8 @@ def suite_markdown(result: SuiteRunResult) -> str:
         "",
         f"{len(result.replications)} replications "
         f"({result.cache_hits} cache hits, {result.cache_misses} simulated), "
-        f"{result.elapsed_seconds:.2f}s; intervals are Student-t at "
-        f"{result.confidence:.0%} confidence.",
+        f"{result.elapsed_seconds:.2f}s; intervals at {result.confidence:.0%} "
+        f"confidence (Student-t; percentile bootstrap for [0, 1]-bounded metrics).",
         "",
         _markdown_table(result.rows()),
         "",
@@ -206,7 +206,7 @@ def report_from_store(
                     label = f"{case_name} [{family[:8]}]"
                 row: Dict[str, object] = {"case": label, "entries": len(entries)}
                 for metric in metrics:
-                    ci = mean_ci([r.value(metric) for r in reports], confidence)
+                    ci = metric_ci(metric, [r.value(metric) for r in reports], confidence)
                     row[metric] = f"{ci.mean:.4g} ± {ci.half_width:.3g}"
                 rows.append(row)
         parts.extend([f"## `{suite_name}`", "", _markdown_table(rows), ""])

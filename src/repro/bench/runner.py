@@ -23,7 +23,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.api.registry import parse_spec, scheduler_registry
 from repro.api.runner import resolve_workload, run_many
 from repro.api.scenario import Scenario
-from repro.bench.stats import CIEstimate, PairedComparison, mean_ci, paired_comparison
+from repro.bench.stats import (
+    CIEstimate,
+    PairedComparison,
+    metric_ci,
+    paired_comparison,
+)
 from repro.bench.store import ResultStore, StoredResult, result_key
 from repro.bench.suite import BenchmarkCase, BenchmarkSuite, get_suite
 from repro.metrics.basic import MetricsReport
@@ -107,10 +112,13 @@ class SuiteRunResult:
         return grouped
 
     def aggregates(self) -> List[CaseAggregate]:
-        """Per-case mean ± Student-t CI for every suite metric (memoized).
+        """Per-case mean ± CI for every suite metric (memoized).
 
-        The t-quantile bisection is not free; rows(), the JSON report, and
-        the markdown report all read the same aggregates, so compute once.
+        Unbounded metrics get Student-t intervals; metrics bounded in [0, 1]
+        (utilization) get the percentile bootstrap via
+        :func:`~repro.bench.stats.metric_ci`.  The quantile computations are
+        not free; rows(), the JSON report, and the markdown report all read
+        the same aggregates, so compute once.
         """
         cached = getattr(self, "_aggregates", None)
         if cached is not None:
@@ -125,8 +133,8 @@ class SuiteRunResult:
                     policy=outcomes[0].scenario.policy,
                     n=len(outcomes),
                     cis={
-                        metric: mean_ci(
-                            [r.value(metric) for r in reports], self.confidence
+                        metric: metric_ci(
+                            metric, [r.value(metric) for r in reports], self.confidence
                         )
                         for metric in self.metrics
                     },
@@ -169,12 +177,31 @@ def _resolve_suite(suite: Union[str, BenchmarkSuite]) -> BenchmarkSuite:
     return get_suite(suite) if isinstance(suite, str) else suite
 
 
+def _trace_extra(scenario: Scenario) -> Dict[str, Any]:
+    """Content-digest key material for trace-backed workloads.
+
+    For ``trace:`` specs and plain SWF paths the cache key must track the
+    trace *content*, not the spec string: editing a trace file's bytes (same
+    path) has to force a miss.  ``trace`` carries the full digest (into
+    :func:`result_key`); ``trace_family`` carries the seed-free family
+    digest, which :func:`family_key` keeps so that replications differing
+    only in generation seed still aggregate together.
+    """
+    from repro.traces import trace_for_scenario
+
+    trace = trace_for_scenario(scenario)
+    if trace is None:
+        return {}
+    return {"trace": trace.digest, "trace_family": trace.family_digest}
+
+
 def _expand(suite: BenchmarkSuite):
     """Flatten the suite into (case, seed, scenario, extra, key) tuples."""
     entries = []
     for case in suite.cases:
         for seed, scenario in case.replications():
             extra = case.store_extra(seed)
+            extra.update(_trace_extra(scenario))
             entries.append((case, seed, scenario, extra, result_key(scenario, extra)))
     return entries
 
@@ -427,8 +454,8 @@ def compare_policies(
             metric_comparisons.append(
                 MetricComparison(
                     metric=metric,
-                    a=mean_ci(values_a, confidence),
-                    b=mean_ci(values_b, confidence),
+                    a=metric_ci(metric, values_a, confidence),
+                    b=metric_ci(metric, values_b, confidence),
                     paired=paired,
                     better=_better_policy(metric, paired, policy_a, policy_b),
                 )

@@ -29,14 +29,22 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 __all__ = [
+    "BOUNDED_METRICS",
     "CIEstimate",
     "PairedComparison",
     "mean_ci",
     "bootstrap_ci",
+    "metric_ci",
     "paired_comparison",
     "student_t_cdf",
     "student_t_quantile",
 ]
+
+#: Metrics bounded to [0, 1].  Near saturation their replication
+#: distribution is skewed and truncated, so the symmetric Student-t interval
+#: can cross 1.0; suite aggregation uses the percentile bootstrap for these
+#: (see :func:`metric_ci`), which respects the bound by construction.
+BOUNDED_METRICS = frozenset({"utilization"})
 
 
 # ----------------------------------------------------------------------
@@ -221,6 +229,23 @@ def bootstrap_ci(
     return CIEstimate(
         mean=statistic(values), lo=lo, hi=hi, n=n, confidence=confidence
     )
+
+
+def metric_ci(
+    metric: str, values: Sequence[float], confidence: float = 0.95
+) -> CIEstimate:
+    """The appropriate interval for a named suite metric.
+
+    Metrics bounded in [0, 1] (:data:`BOUNDED_METRICS`) get the percentile
+    bootstrap — a Student-t interval for utilization 0.98 ± noise happily
+    reports an upper limit above 1.0, which no replication can ever reach.
+    Everything else gets the exact small-sample Student-t interval.  With a
+    single replication both collapse to the point estimate.
+    """
+    values = [float(v) for v in values]
+    if metric in BOUNDED_METRICS and len(values) >= 2:
+        return bootstrap_ci(values, confidence=confidence)
+    return mean_ci(values, confidence)
 
 
 # ----------------------------------------------------------------------

@@ -20,16 +20,15 @@ releases never serve stale entries.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.api.scenario import Scenario
 from repro.metrics.basic import MetricsReport
+from repro.util import atomic_write, canonical_hash as _canonical_hash
 
 __all__ = [
     "STORE_VERSION",
@@ -63,11 +62,6 @@ def default_store_root() -> Path:
     return Path.home() / ".cache" / "repro-bench"
 
 
-def _canonical_hash(material: Dict[str, Any]) -> str:
-    text = json.dumps(material, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
 def result_key(scenario: Scenario, extra: Optional[Dict[str, Any]] = None) -> str:
     """The content address of one replication: scenario + conditions + code.
 
@@ -89,13 +83,19 @@ def family_key(scenario: Scenario, extra: Optional[Dict[str, Any]] = None) -> st
 
     Entries of one family differ only in replication seed, so aggregating
     them into a mean ± CI is statistically meaningful; mixing families is
-    not.  ``bench report`` groups by this.
+    not.  ``bench report`` groups by this.  Seed-bearing extras are reduced
+    accordingly: the per-replication outage seed is dropped, and the full
+    trace digest (which pins the generation seed for synthetic trace
+    sources) yields to the seed-free ``trace_family`` digest — which still
+    separates two *different contents* behind one path, exactly like the
+    full digest does.
     """
     extra = dict(extra or {})
     if "outages" in extra:
         extra["outages"] = {
             k: v for k, v in extra["outages"].items() if k != "seed"
         }
+    extra.pop("trace", None)
     return _canonical_hash(
         {
             "scenario": scenario.with_(name=None, seed=None).to_dict(),
@@ -123,9 +123,12 @@ class StoredResult:
     code: str = ""
 
     def to_record(self) -> Dict[str, Any]:
+        # Preserve the recorded code version when re-serializing a loaded
+        # entry (the index rebuild does this); only stamp the current
+        # version on freshly produced results.
         return {
             "format": STORE_VERSION,
-            "code": code_version(),
+            "code": self.code or code_version(),
             "key": self.key,
             "suite": self.suite,
             "case": self.case,
@@ -155,13 +158,29 @@ class ResultStore:
     Writes go through a same-directory temp file + ``os.replace`` so a
     killed run can never leave a half-written entry that later poisons the
     cache.
+
+    Store-wide reads (``bench report``) go through an **index file**
+    (``root/index.json``) holding every entry's full record in one place,
+    so a report is one file read instead of thousands.  The index is
+    rebuilt lazily: ``put`` never touches it (concurrent writers would
+    race), and staleness is detected from shard-directory mtimes — any
+    entry written, rewritten, or deleted after the index bumps its shard's
+    mtime past the index's, and the next :meth:`entries` call rescans and
+    rewrites.
     """
+
+    #: Name of the store-wide index file (lives directly under the root).
+    INDEX_NAME = "index.json"
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
         self.root = Path(root) if root is not None else default_store_root()
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / self.INDEX_NAME
 
     def get(self, key: str) -> Optional[StoredResult]:
         """The stored result under ``key``, or None on miss/corrupt entry."""
@@ -180,25 +199,18 @@ class ResultStore:
     def put(self, entry: StoredResult) -> Path:
         """Persist ``entry`` atomically; returns the file path.
 
-        The temp name is unique per writer (not per key), so two processes
-        sharing a store and racing on the same key each publish a complete
-        record — last ``os.replace`` wins — instead of interleaving writes.
+        Atomic per-key publication means two processes sharing a store and
+        racing on the same key each write a complete record — last replace
+        wins — instead of interleaving.  The index is deliberately *not*
+        updated here (concurrent writers would race on it); the write bumps
+        the shard directory's mtime, which the next :meth:`entries` call
+        detects as staleness.
         """
         path = self.path_for(entry.key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f"{entry.key[:8]}-", suffix=".tmp"
+        atomic_write(
+            path, json.dumps(entry.to_record(), sort_keys=True).encode("utf-8")
         )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry.to_record(), handle, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
         return path
 
     def __contains__(self, key: str) -> bool:
@@ -207,11 +219,80 @@ class ResultStore:
     def __len__(self) -> int:
         return sum(1 for _ in self.entries())
 
-    def entries(self) -> Iterator[StoredResult]:
-        """Every readable entry in the store (``bench report`` input)."""
+    # ------------------------------------------------------------------
+    # store-wide reads via the lazy index
+    # ------------------------------------------------------------------
+    def _shard_mtimes(self) -> Dict[str, int]:
+        """Current ``{shard name: mtime_ns}`` of every two-character shard dir."""
         if not self.root.is_dir():
-            return
+            return {}
+        mtimes: Dict[str, int] = {}
+        for path in self.root.iterdir():
+            if not path.is_dir() or len(path.name) != 2:
+                continue
+            try:
+                mtimes[path.name] = path.stat().st_mtime_ns
+            except OSError:  # deleted mid-listing: count it as churn
+                mtimes[path.name] = -1
+        return mtimes
+
+    def _load_fresh_index(self) -> Optional[list]:
+        """The index records, or None when absent/stale/unreadable.
+
+        The index records the exact shard mtime map observed *before* its
+        scan started; it is fresh iff the current map is identical.  Any
+        entry written, rewritten, or deleted after that snapshot — including
+        one that lands mid-rebuild — changes its shard's mtime (or the shard
+        set) and invalidates the index, so a concurrent ``put`` can delay an
+        index's usefulness but never hide an entry behind a "fresh" one.
+        """
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as handle:
+                index = json.load(handle)
+            records = index["entries"]
+            shards = index["shards"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if index.get("format") != STORE_VERSION or not isinstance(shards, dict):
+            return None
+        if self._shard_mtimes() != shards:
+            return None
+        return records
+
+    def rebuild_index(self) -> list:
+        """Scan every entry file and (re)write the index; returns the records."""
+        # Snapshot before scanning: a write that races the scan makes the
+        # recorded map stale relative to the post-write reality, forcing the
+        # next read to rescan instead of trusting a possibly-partial index.
+        shards = self._shard_mtimes()
+        records = []
         for path in sorted(self.root.glob("*/*.json")):
             entry = self.get(path.stem)
             if entry is not None:
-                yield entry
+                records.append(entry.to_record())
+        index = {
+            "format": STORE_VERSION,
+            "shards": shards,
+            "entries": records,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write(self.index_path, json.dumps(index, sort_keys=True).encode("utf-8"))
+        return records
+
+    def entries(self) -> Iterator[StoredResult]:
+        """Every readable entry in the store (``bench report`` input).
+
+        Served from the store-wide index when it is fresh; otherwise the
+        store is rescanned and the index rewritten.  A record that fails to
+        decode is skipped, exactly like a corrupt entry file.
+        """
+        if not self.root.is_dir():
+            return
+        records = self._load_fresh_index()
+        if records is None:
+            records = self.rebuild_index()
+        for record in records:
+            try:
+                yield StoredResult.from_record(record)
+            except (ValueError, KeyError, TypeError):
+                continue

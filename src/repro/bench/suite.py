@@ -9,14 +9,23 @@ models, so typos get did-you-mean suggestions and plugins can add suites.
 
 The built-in suites cover every simulator mode the repository has:
 
-=============  ===========================================================
-``smoke``      tiny uniform workload, seconds end-to-end (CI cache check)
-``std-space``  lublin99 through the space-sharing roster at two loads
-``std-gang``   gang time-slicing at two multiprogramming levels
-``std-grid``   two-site metacomputing, both meta-schedulers
-``std-outage`` outage-blind versus outage-aware EASY under failures
-``std-feedback`` session workload, open versus closed (feedback) replay
-=============  ===========================================================
+===================  =====================================================
+``smoke``            tiny uniform workload, seconds end-to-end (CI cache check)
+``std-space``        lublin99 through the space-sharing roster at two loads
+``std-gang``         gang time-slicing at two multiprogramming levels
+``std-grid``         two-site metacomputing, both meta-schedulers
+``std-outage``       outage-blind versus outage-aware EASY under failures
+``std-feedback``     session workload, open versus closed (feedback) replay
+``std-trace-smoke``  one tiny catalog trace through FCFS and EASY (CI check)
+``std-trace-ctc``    the CTC SP2 catalog trace, load-varied, space roster
+``std-trace-archives`` all four catalog traces at native load, FCFS vs EASY
+===================  =====================================================
+
+The ``std-trace-*`` suites replay catalog traces (:mod:`repro.traces`):
+their workloads are ``trace:`` specs, each replication seed regenerates the
+synthetic archive content (so across-seed CIs measure workload-to-workload
+variability, the paper's replication methodology), and the result store
+keys every entry by the trace's content digest.
 """
 
 from __future__ import annotations
@@ -277,6 +286,58 @@ def _std_outage_suite() -> BenchmarkSuite:
                 outages=outages,
             )
         ),
+    )
+
+
+@register_suite("std-trace-smoke")
+def _std_trace_smoke_suite() -> BenchmarkSuite:
+    seeds = derive_seeds(SUITE_BASE_SEED, 3)
+    scenario = Scenario(workload="trace:ctc-sp2,jobs=120,load=0.8", jobs=120)
+    return BenchmarkSuite(
+        name="std-trace-smoke",
+        description=(
+            "A 120-job CTC SP2 catalog trace rescaled to load 0.8, through "
+            "FCFS and EASY; exercises the trace cache end-to-end in seconds."
+        ),
+        cases=tuple(_roster("trace:ctc-sp2@0.80", scenario, ("fcfs", "easy"), seeds)),
+    )
+
+
+@register_suite("std-trace-ctc")
+def _std_trace_ctc_suite() -> BenchmarkSuite:
+    seeds = derive_seeds(SUITE_BASE_SEED, 3)
+    policies = ("fcfs", "easy", "conservative", "sjf")
+    cases: List[BenchmarkCase] = []
+    for load in (0.7, 0.9):
+        scenario = Scenario(workload=f"trace:ctc-sp2,jobs=500,load={load}", jobs=500)
+        cases.extend(_roster(f"trace:ctc-sp2@{load:.2f}", scenario, policies, seeds))
+    return BenchmarkSuite(
+        name="std-trace-ctc",
+        description=(
+            "The CTC SP2 catalog trace rescaled to moderate and heavy load "
+            "(the paper's load-variation methodology) through the "
+            "space-sharing roster; store entries are keyed by trace digest."
+        ),
+        cases=tuple(cases),
+    )
+
+
+@register_suite("std-trace-archives")
+def _std_trace_archives_suite() -> BenchmarkSuite:
+    from repro.data.archives import ARCHIVES
+
+    seeds = derive_seeds(SUITE_BASE_SEED, 3)
+    cases: List[BenchmarkCase] = []
+    for key in sorted(ARCHIVES):
+        scenario = Scenario(workload=f"trace:{key},jobs=300", jobs=300)
+        cases.extend(_roster(f"trace:{key}", scenario, ("fcfs", "easy"), seeds))
+    return BenchmarkSuite(
+        name="std-trace-archives",
+        description=(
+            "All four synthetic archive catalog traces at their native "
+            "offered loads, FCFS versus EASY backfilling."
+        ),
+        cases=tuple(cases),
     )
 
 

@@ -12,8 +12,12 @@ experiment — are all available from the shell::
     python -m repro.cli outages   128 2592000 outages.log --seed 1
     python -m repro.cli simulate  trace.swf --policy easy
     python -m repro.cli simulate  lublin99:jobs=2000,seed=1 --policy gang:slots=3 --load 0.8
+    python -m repro.cli simulate  trace:ctc-sp2,load=1.2,slice=0:7d --policy easy
     python -m repro.cli run       scenarios.json --workers 4
     python -m repro.cli experiment e03
+    python -m repro.cli trace ls
+    python -m repro.cli trace info ctc-sp2,load=1.2,slice=0:7d
+    python -m repro.cli trace build ctc-sp2,load=1.2 --output week.swf
     python -m repro.cli bench run smoke --workers 2
     python -m repro.cli bench compare fcfs backfill --suite std-space
     python -m repro.cli bench report
@@ -55,7 +59,7 @@ __all__ = ["main", "build_parser"]
 
 #: Experiments reachable from ``experiment``.
 EXPERIMENTS = (
-    "e01", "e02", "e03", "e04", "e05", "e06", "e07", "e08", "e09", "e10",
+    "e01", "e02", "e03", "e04", "e05", "e06", "e07", "e08", "e09", "e10", "e11",
 )
 
 
@@ -132,8 +136,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("scenarios", help="path to a JSON scenario file")
     p_run.add_argument("--workers", type=int, default=None, help="fan out over N processes")
 
-    p_experiment = sub.add_parser("experiment", help="run one of the E1..E10 experiment harnesses")
+    p_experiment = sub.add_parser("experiment", help="run one of the E1..E11 experiment harnesses")
     p_experiment.add_argument("which", choices=EXPERIMENTS)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="the trace catalog: content-addressed workload traces with transforms",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    t_ls = trace_sub.add_parser("ls", help="list registered catalog traces")
+    t_ls.add_argument("--jobs", type=int, default=None, help="jobs for the shown digests")
+
+    t_info = trace_sub.add_parser(
+        "info", help="digest, pipeline, and cache status of a trace spec"
+    )
+    t_info.add_argument("spec", help="trace spec, with or without the trace: prefix")
+    t_info.add_argument("--jobs", type=int, default=None)
+    t_info.add_argument("--seed", type=int, default=None)
+
+    t_build = trace_sub.add_parser(
+        "build", help="materialize a trace through the cache (reports hit/miss)"
+    )
+    t_build.add_argument("spec", help="trace spec, with or without the trace: prefix")
+    t_build.add_argument("--jobs", type=int, default=None)
+    t_build.add_argument("--seed", type=int, default=None)
+    t_build.add_argument("--output", default=None, help="also write the SWF here")
+    t_build.add_argument(
+        "--no-cache", action="store_true", help="build fresh; leave the cache untouched"
+    )
 
     p_bench = sub.add_parser(
         "bench",
@@ -317,6 +348,76 @@ def _write_text(path: Optional[str], text: str) -> None:
             handle.write(text)
 
 
+def _cmd_trace(args) -> int:
+    from repro.traces import TraceCache, trace_from_spec, trace_names, trace_registry
+
+    try:
+        if args.trace_command == "ls":
+            rows = []
+            for name in trace_names():
+                trace = trace_from_spec(name, jobs=args.jobs)
+                factory = trace_registry.get(name)
+                rows.append(
+                    {
+                        "trace": name,
+                        "digest": trace.digest[:12],
+                        "spec": trace.spec,
+                        "description": (factory.__doc__ or "").strip(),
+                    }
+                )
+            print(format_table(rows))
+            return 0
+
+        trace = trace_from_spec(args.spec, jobs=args.jobs, seed=args.seed)
+        from repro.traces import SwfFileSource
+
+        if isinstance(trace.source, SwfFileSource) and (
+            args.jobs is not None or args.seed is not None
+        ):
+            # A file trace is fully determined by its content; dropping the
+            # flags silently would let a user believe they bounded the build.
+            print(
+                f"{args.spec!r} is a file trace: --jobs/--seed do not apply "
+                "(its content is the trace)",
+                file=sys.stderr,
+            )
+            return 2
+        cache = TraceCache()
+        if args.trace_command == "info":
+            cached = trace.digest in cache
+            print(f"spec:    {trace.spec}")
+            print(f"name:    {trace.name}")
+            print(f"digest:  {trace.digest}")
+            print(f"family:  {trace.family_digest}")
+            print(f"source:  {trace.source.identity()}")
+            for i, transform in enumerate(trace.transforms, start=1):
+                print(f"step {i}:  {transform.identity()}")
+            print(f"cache:   {cache.path_for(trace.digest)}"
+                  f" ({'present' if cached else 'absent'})")
+            return 0
+
+        # build
+        workload = trace.materialize(cache=None if args.no_cache else cache,
+                                     use_cache=not args.no_cache)
+        served = "built fresh" if args.no_cache else (
+            "cache hit" if cache.hits else "built and cached"
+        )
+        if args.output:
+            write_swf(workload, args.output)
+        destination = f"; wrote {args.output}" if args.output else ""
+        machine = workload.header.max_nodes
+        print(
+            f"{trace.spec}\ndigest {trace.digest} ({served}): "
+            f"{len(workload)} jobs, offered load "
+            f"{workload.offered_load(machine):.2f} on {machine} nodes"
+            f"{destination}"
+        )
+        return 0
+    except (RegistryError, KeyError, ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
 def _cmd_bench(args) -> int:
     from repro.bench.report import (
         comparison_json,
@@ -384,6 +485,7 @@ def _cmd_experiment(args) -> int:
         "e08": exp.e08_moldable,
         "e09": exp.e09_grid,
         "e10": exp.e10_warmstones,
+        "e11": exp.e11_traces,
     }[args.which]
     result = module.run()
     print(format_table(result.rows()))
@@ -399,6 +501,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "run": _cmd_run,
     "experiment": _cmd_experiment,
+    "trace": _cmd_trace,
     "bench": _cmd_bench,
 }
 

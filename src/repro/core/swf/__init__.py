@@ -30,7 +30,12 @@ from repro.core.swf.records import SWFJob
 from repro.core.swf.header import HeaderEntry, SWFHeader
 from repro.core.swf.workload import Workload
 from repro.core.swf.parser import ParseReport, SWFParseError, parse_swf, parse_swf_text
-from repro.core.swf.writer import format_job_line, write_swf, write_swf_text
+from repro.core.swf.writer import (
+    canonical_swf_bytes,
+    format_job_line,
+    write_swf,
+    write_swf_text,
+)
 from repro.core.swf.validator import Severity, ValidationIssue, ValidationReport, validate
 from repro.core.swf.anonymize import IdentityMapper, anonymize_workload
 from repro.core.swf.feedback import (
@@ -74,6 +79,7 @@ __all__ = [
     "SWFParseError",
     "parse_swf",
     "parse_swf_text",
+    "canonical_swf_bytes",
     "format_job_line",
     "write_swf",
     "write_swf_text",

@@ -160,6 +160,7 @@ HEADER_LABELS: tuple = (
     "MaxRecords",
     "Preemption",
     "UnixStartTime",
+    "TimeZoneString",
     "StartTime",
     "EndTime",
     "MaxNodes",

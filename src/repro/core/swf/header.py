@@ -17,6 +17,27 @@ from repro.core.swf.fields import HEADER_LABELS, SWF_VERSION, RequestedTimeKind
 __all__ = ["SWFHeader", "HeaderEntry"]
 
 
+def _format_utc(epoch_seconds: int) -> str:
+    """Render a Unix timestamp in the ``StartTime`` style of archive logs.
+
+    Rendered explicitly from the UTC calendar (never the process locale or
+    local timezone), so the same epoch always yields the same bytes.
+    """
+    from datetime import datetime, timezone
+
+    moment = datetime.fromtimestamp(epoch_seconds, tz=timezone.utc)
+    days = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+    months = (
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+        "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    )
+    return (
+        f"{days[moment.weekday()]} {months[moment.month - 1]} "
+        f"{moment.day:02d} {moment.hour:02d}:{moment.minute:02d}:"
+        f"{moment.second:02d} UTC {moment.year}"
+    )
+
+
 @dataclass(frozen=True)
 class HeaderEntry:
     """One ``;Label: value`` header comment line."""
@@ -193,11 +214,20 @@ class SWFHeader:
         queues: Optional[str] = None,
         partitions: Optional[str] = None,
         notes: Optional[Iterable[str]] = None,
+        unix_start_time: Optional[int] = None,
+        duration_seconds: Optional[int] = None,
     ) -> "SWFHeader":
         """Build a header carrying every predefined label that applies.
 
         This is what the synthetic-archive generators use so that generated
         traces are self-describing, exactly like archive traces.
+
+        ``unix_start_time`` (and the derived ``StartTime``/``EndTime``
+        labels, when ``duration_seconds`` is also given) must be a *fixed*
+        value chosen by the caller, never the wall clock: generated traces
+        are content-addressed by the trace catalog, and a timestamp that
+        changed per invocation would give identical workloads different
+        digests.
         """
         header = cls()
         header.add("Version", SWF_VERSION)
@@ -205,6 +235,14 @@ class SWFHeader:
         header.add("Installation", installation)
         header.add("Acknowledge", acknowledge)
         header.add("Conversion", conversion)
+        if unix_start_time is not None:
+            header.add("UnixStartTime", int(unix_start_time))
+            header.add("TimeZoneString", "UTC")
+            header.add("StartTime", _format_utc(int(unix_start_time)))
+            if duration_seconds is not None:
+                header.add(
+                    "EndTime", _format_utc(int(unix_start_time) + int(duration_seconds))
+                )
         header.add("MaxNodes", max_nodes)
         if max_runtime is not None:
             header.add("MaxRuntime", max_runtime)

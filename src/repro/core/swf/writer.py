@@ -15,7 +15,7 @@ from typing import Optional, TextIO, Union
 
 from repro.core.swf.workload import Workload
 
-__all__ = ["write_swf", "write_swf_text", "format_job_line"]
+__all__ = ["write_swf", "write_swf_text", "format_job_line", "canonical_swf_bytes"]
 
 
 def format_job_line(job, column_widths: Optional[list] = None) -> str:
@@ -56,6 +56,21 @@ def write_swf_text(workload: Workload, align: bool = False) -> str:
     buffer = io.StringIO()
     write_swf_stream(workload, buffer, align=align)
     return buffer.getvalue()
+
+
+def canonical_swf_bytes(workload: Workload) -> bytes:
+    """The canonical byte serialization of a workload.
+
+    Canonical form is the unaligned text rendering — one ``; Label: value``
+    line per header entry in order, a ``;`` separator, one unpadded
+    space-separated job line per job — encoded UTF-8 with ``\\n`` newlines.
+    Two workloads have equal canonical bytes iff they compare equal, so
+    ``sha256(canonical_swf_bytes(w))`` is a content address: the trace
+    catalog keys its digests and its on-disk cache off this form, which
+    makes digests insensitive to alignment whitespace and platform newline
+    conventions in the source file.
+    """
+    return write_swf_text(workload, align=False).encode("utf-8")
 
 
 def write_swf(

@@ -1,5 +1,19 @@
 """Synthetic archive traces standing in for the Parallel Workloads Archive."""
 
-from repro.data.archives import ARCHIVES, ArchiveSpec, archive_names, synthetic_archive
+from repro.data.archives import (
+    ARCHIVE_EPOCH,
+    ARCHIVES,
+    DEFAULT_ARCHIVE_SEED,
+    ArchiveSpec,
+    archive_names,
+    synthetic_archive,
+)
 
-__all__ = ["ARCHIVES", "ArchiveSpec", "archive_names", "synthetic_archive"]
+__all__ = [
+    "ARCHIVE_EPOCH",
+    "ARCHIVES",
+    "DEFAULT_ARCHIVE_SEED",
+    "ArchiveSpec",
+    "archive_names",
+    "synthetic_archive",
+]

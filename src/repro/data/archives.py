@@ -30,7 +30,25 @@ from repro.workloads.feitelson96 import Feitelson96Model
 from repro.workloads.jann97 import Jann97Model
 from repro.workloads.lublin99 import Lublin99Model
 
-__all__ = ["ArchiveSpec", "ARCHIVES", "synthetic_archive", "archive_names"]
+__all__ = [
+    "ArchiveSpec",
+    "ARCHIVES",
+    "ARCHIVE_EPOCH",
+    "DEFAULT_ARCHIVE_SEED",
+    "synthetic_archive",
+    "archive_names",
+]
+
+#: Fixed UnixStartTime stamped into every generated archive header:
+#: 1999-01-01T00:00:00 UTC, the year of the source paper.  A wall-clock
+#: timestamp here would give identical (name, jobs, seed) specs different
+#: bytes, which would break the content-addressed trace catalog.
+ARCHIVE_EPOCH = 915148800
+
+#: Seed used when the caller passes ``seed=None``.  Canonicalizing the
+#: default (instead of drawing OS entropy) makes every spec — including the
+#: default one — produce byte-identical SWF files across runs and machines.
+DEFAULT_ARCHIVE_SEED = 0
 
 
 @dataclass(frozen=True)
@@ -133,12 +151,17 @@ def synthetic_archive(name: str, jobs: int = 5000, seed: Optional[int] = None) -
         Number of jobs to generate.
     seed:
         RNG seed; the same (name, jobs, seed) triple always yields the same
-        trace, so experiments can reference traces reproducibly.
+        trace — byte-identical through the SWF writer — so experiments and
+        the trace catalog can reference traces reproducibly.  ``None`` is
+        canonicalized to :data:`DEFAULT_ARCHIVE_SEED` rather than drawing
+        entropy, so even the default spec is content-stable.
     """
     if name not in ARCHIVES:
         raise KeyError(f"unknown archive {name!r}; available: {sorted(ARCHIVES)}")
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if seed is None:
+        seed = DEFAULT_ARCHIVE_SEED
     spec = ARCHIVES[name]
     rng = make_rng(seed)
     workload = _base_model(spec).generate(jobs, seed=seed)
@@ -168,6 +191,15 @@ def synthetic_archive(name: str, jobs: int = 5000, seed: Optional[int] = None) -
             )
         )
 
+    result = Workload(adjusted, SWFHeader(), name=name).sorted_by_submit().renumbered()
+    # Rescale arrivals so the trace matches the published offered load of the
+    # machine it stands in for (the size adjustments above change the area).
+    current = result.offered_load(spec.machine_size)
+    if current > 0:
+        result = result.scale_load(spec.offered_load / current, name=name)
+    # The header is attached last so the EndTime it derives reflects the
+    # trace's final (post-rescale) span; its timestamps are fixed constants,
+    # keeping identical specs byte-identical (see ARCHIVE_EPOCH).
     header = SWFHeader.standard(
         computer=spec.computer,
         installation=spec.installation,
@@ -181,11 +213,7 @@ def synthetic_archive(name: str, jobs: int = 5000, seed: Optional[int] = None) -
             f"Synthetic archive trace modelled on the {spec.installation} log.",
             "This is NOT the original archive data; see DESIGN.md substitution table.",
         ],
+        unix_start_time=ARCHIVE_EPOCH,
+        duration_seconds=result.span(),
     )
-    result = Workload(adjusted, header, name=name).sorted_by_submit().renumbered()
-    # Rescale arrivals so the trace matches the published offered load of the
-    # machine it stands in for (the size adjustments above change the area).
-    current = result.offered_load(spec.machine_size)
-    if current > 0:
-        result = result.scale_load(spec.offered_load / current, name=name)
-    return result
+    return Workload(result.jobs, header, name=name)

@@ -1,4 +1,4 @@
-"""Experiment harnesses E1..E10 (see DESIGN.md for the experiment index).
+"""Experiment harnesses E1..E11 (see DESIGN.md for the experiment index).
 
 Each module exposes a ``run(...)`` function that executes the experiment at a
 configurable (default: laptop-friendly) scale and returns a structured result
@@ -17,6 +17,7 @@ from repro.experiments import (
     e08_moldable,
     e09_grid,
     e10_warmstones,
+    e11_traces,
 )
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "e08_moldable",
     "e09_grid",
     "e10_warmstones",
+    "e11_traces",
 ]

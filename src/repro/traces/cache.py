@@ -1,0 +1,93 @@
+"""On-disk cache of materialized traces, keyed by content digest.
+
+Layout mirrors the benchmark result store: ``root/<digest[:2]>/<digest>.swf``
+holding the canonical SWF bytes, plus a ``<digest>.json`` sidecar recording
+the spec and name that produced the entry (documentation for humans; the
+digest alone is the key).  Writes are atomic (same-directory temp file +
+``os.replace``), so two processes materializing the same trace concurrently
+— exactly what ``run_many(workers=N)`` over a cold cache does — each publish
+a complete file and the last writer wins with identical bytes.
+
+The root defaults to ``$REPRO_TRACE_CACHE`` or ``~/.cache/repro-traces``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.swf.parser import parse_swf
+from repro.core.swf.workload import Workload
+from repro.core.swf.writer import canonical_swf_bytes
+from repro.util import atomic_write
+
+__all__ = ["TraceCache", "CACHE_ENV_VAR", "default_cache_root"]
+
+#: Environment variable overriding the default cache location.
+CACHE_ENV_VAR = "REPRO_TRACE_CACHE"
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_TRACE_CACHE`` if set, else ``~/.cache/repro-traces``."""
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-traces"
+
+
+class TraceCache:
+    """Content-addressed store of materialized traces (canonical SWF files)."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        #: materializations served from disk by this instance
+        self.hits = 0
+        #: materializations that had to build and write
+        self.misses = 0
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.swf"
+
+    def meta_path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).is_file()
+
+    def get(self, digest: str, name: Optional[str] = None) -> Optional[Workload]:
+        """The cached workload under ``digest``, or None on miss.
+
+        A cache file that fails to parse is treated as a miss (the caller
+        rebuilds and overwrites it), never as an error: a torn or truncated
+        entry must not be able to wedge every later run.
+        """
+        path = self.path_for(digest)
+        try:
+            workload = parse_swf(path)
+        except (OSError, ValueError):
+            return None
+        workload.name = name if name is not None else self._cached_name(digest)
+        self.hits += 1
+        return workload
+
+    def _cached_name(self, digest: str) -> str:
+        try:
+            with open(self.meta_path_for(digest), "r", encoding="utf-8") as handle:
+                return str(json.load(handle).get("name", digest[:12]))
+        except (OSError, ValueError):
+            return digest[:12]
+
+    def put(self, digest: str, workload: Workload, spec: str = "") -> Path:
+        """Persist ``workload`` in canonical form under ``digest``."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write(path, canonical_swf_bytes(workload))
+        meta = {"digest": digest, "name": workload.name, "spec": spec}
+        atomic_write(
+            self.meta_path_for(digest),
+            (json.dumps(meta, sort_keys=True, indent=2) + "\n").encode("utf-8"),
+        )
+        self.misses += 1
+        return path

@@ -1,0 +1,309 @@
+"""The trace catalog: named traces, and the ``trace:`` spec grammar.
+
+The catalog makes traces first-class citizens of the scenario API: anything
+a :class:`~repro.api.scenario.Scenario` (or the CLI, or a benchmark suite)
+can name is reproducible from its one-line spec.
+
+Grammar::
+
+    trace:<source>[,key=value]...
+
+``<source>`` is, in resolution order,
+
+1. a **registered catalog name** — the four synthetic archives register
+   themselves (``trace:ctc-sp2``), and plugins add entries with
+   :func:`register_trace`;
+2. an **SWF file path** (contains a path separator or ends in ``.swf``) —
+   ``trace:traces/kth-sp2.swf,load=1.3``; the digest hashes the file's
+   canonical *content*, never the path string;
+3. a **registered workload model** — ``trace:lublin99,jobs=500,seed=7``
+   pins a model draw as a reusable artifact (unseeded model specs
+   canonicalize to seed 0: a trace is always content-stable).
+
+Keys split into source parameters (``jobs``, ``seed``, ``machine_size`` —
+defaulted from the enclosing Scenario when present) and the transform
+roster of :mod:`repro.traces.transforms` (``load``, ``scale``, ``slice``,
+``min_size``/``max_size``/``min_runtime``/``max_runtime``/``queue``,
+``sample`` with optional ``sample_seed``, ``nodes``, ``head``), applied in
+spec order.  For model sources, keys the grammar does not know are passed
+through as model-constructor keywords (``trace:sessions,users=40``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.registry import Registry, SpecError, UnknownNameError, _coerce
+from repro.util import looks_like_swf_path
+from repro.traces.sources import (
+    ArchiveSource,
+    ModelSource,
+    SwfFileSource,
+    TraceSource,
+)
+from repro.traces.trace import Trace
+from repro.traces.transforms import (
+    FILTER_FIELDS,
+    FieldFilter,
+    Head,
+    Resample,
+    RescaleMachine,
+    ScaleRate,
+    ScaleToLoad,
+    TimeSlice,
+)
+
+__all__ = [
+    "trace_registry",
+    "register_trace",
+    "trace_names",
+    "split_trace_spec",
+    "trace_from_spec",
+    "trace_for_scenario",
+    "TRACE_SPEC_PREFIX",
+]
+
+TRACE_SPEC_PREFIX = "trace:"
+
+#: Keys that parameterize the source rather than the pipeline.
+SOURCE_KEYS = ("jobs", "seed", "machine_size")
+
+#: Transform keys in the grammar (plus the filter-field keys).
+TRANSFORM_KEYS = ("load", "scale", "slice", "sample", "sample_seed", "nodes", "head")
+
+#: Named traces: factories ``(jobs, seed, machine_size) -> TraceSource``.
+trace_registry = Registry("trace")
+
+
+def register_trace(*names: str):
+    """Register a named trace-source factory (decorator, like other registries)."""
+    return trace_registry.register(*names)
+
+
+def trace_names() -> List[str]:
+    return trace_registry.names()
+
+
+def _register_archives() -> None:
+    from repro.data.archives import ARCHIVES, DEFAULT_ARCHIVE_SEED
+
+    def factory_for(key: str):
+        def factory(
+            jobs: Optional[int] = None,
+            seed: Optional[int] = None,
+            machine_size: Optional[int] = None,
+        ) -> TraceSource:
+            # machine_size is accepted and ignored: an archive's machine is
+            # part of what the trace *is*; the Scenario field sizes the
+            # simulated machine, not the workload.
+            return ArchiveSource(
+                key,
+                jobs=jobs if jobs is not None else 5000,
+                seed=seed if seed is not None else DEFAULT_ARCHIVE_SEED,
+            )
+
+        factory.__name__ = f"trace_{key.replace('-', '_')}"
+        factory.__doc__ = ARCHIVES[key].description
+        return factory
+
+    for key in ARCHIVES:
+        trace_registry.register(key)(factory_for(key))
+
+
+_register_archives()
+
+
+# ----------------------------------------------------------------------
+# spec parsing
+# ----------------------------------------------------------------------
+_looks_like_path = looks_like_swf_path
+
+
+def split_trace_spec(spec: str) -> Tuple[str, List[Tuple[str, str]]]:
+    """Split a ``trace:`` spec into ``(source_token, ordered (key, value) pairs)``.
+
+    The ``trace:`` prefix is optional (the CLI accepts bare bodies).  Pair
+    order is preserved — transforms apply in spec order, and the order is
+    part of the digest.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise SpecError(f"empty or non-string trace spec: {spec!r}")
+    body = spec.strip()
+    if body.startswith(TRACE_SPEC_PREFIX):
+        body = body[len(TRACE_SPEC_PREFIX):]
+    parts = [part.strip() for part in body.split(",")]
+    token = parts[0]
+    if not token:
+        raise SpecError(f"trace spec {spec!r} names no source before the first comma")
+    if "=" in token and not _looks_like_path(token):
+        raise SpecError(
+            f"trace spec {spec!r}: the first comma-field must name a source "
+            "(catalog entry, SWF path, or model), not a key=value pair"
+        )
+    pairs: List[Tuple[str, str]] = []
+    for part in parts[1:]:
+        if not part:
+            continue
+        key, eq, value = part.partition("=")
+        key = key.strip().replace("-", "_")
+        if not eq or not key:
+            raise SpecError(
+                f"trace spec {spec!r}: expected 'key=value' but got {part!r}"
+            )
+        pairs.append((key, value.strip()))
+    return token, pairs
+
+
+def _int_param(spec: str, key: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise SpecError(
+            f"trace spec {spec!r}: {key} must be an integer, got {value!r}"
+        ) from None
+
+
+def _build_transform(spec: str, key: str, value: str, sample_seed: int):
+    if key == "load":
+        try:
+            return ScaleToLoad(target=float(value))
+        except ValueError as exc:
+            raise SpecError(f"trace spec {spec!r}: bad load {value!r}: {exc}") from None
+    if key == "scale":
+        try:
+            return ScaleRate(factor=float(value))
+        except ValueError as exc:
+            raise SpecError(f"trace spec {spec!r}: bad scale {value!r}: {exc}") from None
+    if key == "slice":
+        try:
+            return TimeSlice.from_text(value)
+        except ValueError as exc:
+            raise SpecError(f"trace spec {spec!r}: {exc}") from None
+    if key == "sample":
+        return Resample(jobs=_int_param(spec, key, value), seed=sample_seed)
+    if key == "nodes":
+        return RescaleMachine(nodes=_int_param(spec, key, value))
+    if key == "head":
+        return Head(jobs=_int_param(spec, key, value))
+    if key in FILTER_FIELDS:
+        return FieldFilter(key=key, value=_int_param(spec, key, value))
+    raise SpecError(f"trace spec {spec!r}: unhandled transform key {key!r}")
+
+
+def trace_from_spec(
+    spec: str,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    machine_size: Optional[int] = None,
+) -> Trace:
+    """Build a :class:`Trace` from a spec string.
+
+    ``jobs``/``seed``/``machine_size`` are *defaults* (typically the
+    enclosing Scenario's fields); the same keys inside the spec win, and
+    pin the trace regardless of scenario context.
+    """
+    token, pairs = split_trace_spec(spec)
+
+    spec_source: Dict[str, int] = {}
+    transform_pairs: List[Tuple[str, str]] = []
+    extra_params: Dict[str, Any] = {}
+    sample_seed: Optional[int] = None
+    for key, value in pairs:
+        if key in SOURCE_KEYS:
+            spec_source[key] = _int_param(spec, key, value)
+        elif key == "sample_seed":
+            sample_seed = _int_param(spec, key, value)
+        elif key in TRANSFORM_KEYS or key in FILTER_FIELDS:
+            transform_pairs.append((key, value))
+        else:
+            # Not grammar: a model-constructor keyword (validated at source
+            # resolution; a typo on a non-model source raises there).
+            extra_params[key] = _coerce(value)
+    if sample_seed is not None and all(key != "sample" for key, _ in transform_pairs):
+        raise SpecError(f"trace spec {spec!r}: sample_seed without sample")
+
+    source = _resolve_source(
+        spec,
+        token,
+        jobs=spec_source.get("jobs", jobs),
+        seed=spec_source.get("seed", seed),
+        machine_size=spec_source.get("machine_size", machine_size),
+        spec_set=frozenset(spec_source),
+        extra_params=extra_params,
+    )
+    transforms = tuple(
+        _build_transform(spec, key, value, sample_seed or 0)
+        for key, value in transform_pairs
+    )
+    return Trace(source=source, transforms=transforms)
+
+
+def _resolve_source(
+    spec: str,
+    token: str,
+    jobs: Optional[int],
+    seed: Optional[int],
+    machine_size: Optional[int],
+    spec_set: frozenset,
+    extra_params: Dict[str, Any],
+) -> TraceSource:
+    if token in trace_registry:
+        if extra_params:
+            raise SpecError(
+                f"trace spec {spec!r}: catalog trace {token!r} does not accept "
+                f"{sorted(extra_params)} (source keys are {', '.join(SOURCE_KEYS)}; "
+                f"transforms are {', '.join(TRANSFORM_KEYS + tuple(FILTER_FIELDS))})"
+            )
+        return trace_registry.get(token)(
+            jobs=jobs, seed=seed, machine_size=machine_size
+        )
+
+    if _looks_like_path(token):
+        explicit = spec_set | frozenset(extra_params)
+        if explicit:
+            raise SpecError(
+                f"trace spec {spec!r}: a file trace is fully determined by its "
+                f"content; {sorted(explicit)} do not apply"
+            )
+        return SwfFileSource(token)
+
+    from repro.api.registry import model_registry
+
+    if token in model_registry:
+        return ModelSource(
+            name=token,
+            jobs=jobs if jobs is not None else 2000,
+            seed=seed if seed is not None else 0,
+            machine_size=machine_size,
+            params=tuple(sorted(extra_params.items())),
+        )
+
+    raise UnknownNameError(
+        "trace source",
+        token,
+        list(trace_registry.names()) + list(model_registry.names()),
+    )
+
+
+def trace_for_scenario(scenario, seed: Optional[int] = None) -> Optional[Trace]:
+    """The :class:`Trace` a scenario's workload spec refers to, if any.
+
+    Returns a handle for ``trace:`` specs (with the scenario's ``jobs``,
+    ``seed``, and ``machine_size`` as source defaults) and for plain SWF
+    path specs (content-addressed, no parameters); ``None`` for model and
+    archive specs, which are not trace-catalog workloads.  ``seed``
+    overrides the scenario seed (the grid runner re-seeds per site).
+    """
+    spec = scenario.workload
+    if spec.startswith(TRACE_SPEC_PREFIX):
+        return trace_from_spec(
+            spec,
+            jobs=scenario.jobs,
+            seed=seed if seed is not None else scenario.seed,
+            machine_size=scenario.machine_size,
+        )
+    if spec.startswith("swf:"):
+        return Trace(source=SwfFileSource(spec[len("swf:"):]))
+    if _looks_like_path(spec):
+        return Trace(source=SwfFileSource(spec))
+    return None

@@ -1,0 +1,66 @@
+"""Small shared utilities: atomic file writes, canonical hashing, path specs.
+
+These used to be re-implemented privately by the benchmark store, the trace
+cache, and the runner; one copy each means a future fix (fsync discipline, a
+new trace extension) lands everywhere at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Union
+
+__all__ = ["atomic_write", "canonical_hash", "looks_like_swf_path"]
+
+
+def atomic_write(path: Union[str, Path], data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (same-dir temp + ``os.replace``).
+
+    The temp name is unique per writer, not per target, so two processes
+    racing on one path each publish a complete file — last replace wins —
+    instead of interleaving writes; a failure cleans up the temp file and
+    leaves any existing target untouched.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.stem[:8], suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def canonical_hash(material: Dict[str, Any]) -> str:
+    """sha256 hex digest of the canonical JSON form of ``material``.
+
+    Canonical means sorted keys and minimal separators, so the digest
+    depends only on content — never on dict insertion order, whitespace, or
+    ``PYTHONHASHSEED``.  Both the benchmark store keys and the trace digests
+    are this hash over their respective identity material.
+    """
+    text = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def looks_like_swf_path(spec: str) -> bool:
+    """Whether a workload spec token denotes an SWF file path.
+
+    The one heuristic shared by the scenario runner and the trace catalog —
+    they must always classify a spec the same way, or a workload could be
+    content-addressed by one layer and name-resolved by the other.
+    """
+    return (
+        "/" in spec
+        or "\\" in spec
+        or spec.endswith(".swf")
+        or spec.endswith(".swf.gz")
+    )

@@ -144,3 +144,38 @@ class TestPairedComparison:
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(ValueError):
             paired_comparison([1.0, 2.0], [1.0])
+
+
+class TestMetricCI:
+    def test_bounded_metric_uses_the_bootstrap(self):
+        from repro.bench.stats import BOUNDED_METRICS, metric_ci
+
+        assert "utilization" in BOUNDED_METRICS
+        # Near saturation the Student-t interval overshoots the [0, 1]
+        # bound; the percentile bootstrap cannot, since every resampled
+        # statistic is a mean of observed in-bound values.
+        values = [0.999, 0.92, 0.998, 0.997]
+        t_interval = mean_ci(values, 0.95)
+        bounded = metric_ci("utilization", values, 0.95)
+        assert t_interval.hi > 1.0
+        assert bounded.hi <= 1.0
+        assert bounded.lo >= 0.0
+        assert bounded.mean == pytest.approx(t_interval.mean)
+
+    def test_unbounded_metric_keeps_student_t(self):
+        from repro.bench.stats import metric_ci
+
+        values = [10.0, 12.0, 9.0, 14.0]
+        assert metric_ci("mean_wait", values, 0.95) == mean_ci(values, 0.95)
+
+    def test_single_replication_collapses_to_the_point(self):
+        from repro.bench.stats import metric_ci
+
+        ci = metric_ci("utilization", [0.7], 0.95)
+        assert (ci.lo, ci.hi) == (0.7, 0.7)
+
+    def test_metric_ci_is_deterministic(self):
+        from repro.bench.stats import metric_ci
+
+        values = [0.8, 0.9, 0.85]
+        assert metric_ci("utilization", values) == metric_ci("utilization", values)

@@ -145,3 +145,95 @@ class TestMetricsReportJson:
         incomplete.pop("tau")
         with pytest.raises(ValueError, match="missing"):
             type(report).from_json(incomplete)
+
+
+class TestStoreIndex:
+    def _put(self, store, scenario, report, seed):
+        key = result_key(scenario.with_(seed=seed))
+        store.put(
+            StoredResult(
+                key=key, scenario=scenario.with_(seed=seed), report=report,
+                extra={}, suite="s", case="c",
+            )
+        )
+        return key
+
+    def test_entries_builds_the_index_lazily(self, tmp_path, scenario_and_report):
+        scenario, report = scenario_and_report
+        store = ResultStore(tmp_path)
+        keys = {self._put(store, scenario, report, seed) for seed in (1, 2, 3)}
+        assert not store.index_path.exists()
+        assert {e.key for e in store.entries()} == keys
+        assert store.index_path.exists()
+
+    def test_fresh_index_is_reused_not_rebuilt(self, tmp_path, scenario_and_report):
+        scenario, report = scenario_and_report
+        store = ResultStore(tmp_path)
+        self._put(store, scenario, report, 1)
+        list(store.entries())
+        stamp = store.index_path.stat().st_mtime_ns
+        assert len(list(store.entries())) == 1
+        assert store.index_path.stat().st_mtime_ns == stamp
+
+    def test_new_entry_staleness_is_detected(self, tmp_path, scenario_and_report):
+        scenario, report = scenario_and_report
+        store = ResultStore(tmp_path)
+        self._put(store, scenario, report, 1)
+        assert len(list(store.entries())) == 1
+        key = self._put(store, scenario, report, 2)
+        assert key in {e.key for e in store.entries()}
+
+    def test_deleted_entry_staleness_is_detected(self, tmp_path, scenario_and_report):
+        import os
+
+        scenario, report = scenario_and_report
+        store = ResultStore(tmp_path)
+        keep = self._put(store, scenario, report, 1)
+        drop = self._put(store, scenario, report, 2)
+        assert len(list(store.entries())) == 2
+        os.unlink(store.path_for(drop))
+        assert {e.key for e in store.entries()} == {keep}
+
+    def test_corrupt_index_triggers_rescan(self, tmp_path, scenario_and_report):
+        scenario, report = scenario_and_report
+        store = ResultStore(tmp_path)
+        key = self._put(store, scenario, report, 1)
+        list(store.entries())
+        store.index_path.write_text("{broken", encoding="utf-8")
+        assert [e.key for e in store.entries()] == [key]
+
+    def test_index_content_matches_a_direct_scan(self, tmp_path, scenario_and_report):
+        scenario, report = scenario_and_report
+        store = ResultStore(tmp_path)
+        self._put(store, scenario, report, 7)
+        indexed = list(store.entries())
+        direct = [store.get(e.key) for e in indexed]
+        assert indexed == direct
+
+    def test_recorded_shard_mtimes_must_match_current(self, tmp_path, scenario_and_report):
+        # The index snapshots shard mtimes before scanning; an entry that
+        # lands mid-rebuild leaves the recorded map stale relative to the
+        # current one, which must force a rescan (never a "fresh" index that
+        # silently hides the entry).
+        scenario, report = scenario_and_report
+        store = ResultStore(tmp_path)
+        key = self._put(store, scenario, report, 1)
+        list(store.entries())
+        index = json.loads(store.index_path.read_text())
+        index["shards"] = {name: mtime - 1 for name, mtime in index["shards"].items()}
+        store.index_path.write_text(json.dumps(index))
+        assert store._load_fresh_index() is None
+        assert [e.key for e in store.entries()] == [key]
+
+    def test_rebuild_preserves_recorded_code_versions(self, tmp_path, scenario_and_report, monkeypatch):
+        scenario, report = scenario_and_report
+        store = ResultStore(tmp_path)
+        key = self._put(store, scenario, report, 1)
+        original = store.get(key).code
+        store.rebuild_index()
+        monkeypatch.setattr("repro.bench.store.STORE_VERSION", "v999")
+        # Re-serializing a loaded entry must keep its original code version,
+        # not launder it into the current one.
+        entry = next(iter(StoredResult.from_record(r) for r in json.loads(
+            store.index_path.read_text())["entries"]))
+        assert entry.code == original

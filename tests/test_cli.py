@@ -206,3 +206,54 @@ class TestBenchCommands:
     def test_bench_unknown_suite_fails_with_suggestion(self, tmp_path, capsys):
         assert main(["bench", "run", "smokey", "--store", str(tmp_path)]) == 2
         assert "did you mean" in capsys.readouterr().err
+
+
+class TestTraceCommands:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "trace-cache"))
+
+    def test_ls_lists_the_catalog(self, capsys):
+        assert main(["trace", "ls"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ctc-sp2", "nasa-ipsc", "sdsc-paragon", "lanl-cm5"):
+            assert name in out
+
+    def test_info_prints_digest_and_pipeline(self, capsys):
+        assert main(["trace", "info", "ctc-sp2,load=1.2,slice=0:7d", "--jobs", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "digest:" in out and "'op': 'load'" in out and "'op': 'slice'" in out
+
+    def test_build_reports_miss_then_hit(self, capsys):
+        spec = "ctc-sp2,jobs=60,load=0.9"
+        assert main(["trace", "build", spec]) == 0
+        first = capsys.readouterr().out
+        assert "built and cached" in first
+        assert main(["trace", "build", spec]) == 0
+        second = capsys.readouterr().out
+        assert "cache hit" in second
+        digest = lambda text: next(
+            line.split()[1] for line in text.splitlines() if line.startswith("digest ")
+        )
+        assert digest(first) == digest(second)
+
+    def test_build_writes_output_file(self, tmp_path, capsys):
+        out_path = tmp_path / "built.swf"
+        assert main(["trace", "build", "ctc-sp2,jobs=40", "--output", str(out_path)]) == 0
+        assert len(parse_swf(out_path)) == 40
+
+    def test_bad_spec_exits_nonzero(self, capsys):
+        assert main(["trace", "info", "ctc-spp2"]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_simulate_accepts_trace_specs(self, capsys):
+        code = main(["simulate", "trace:ctc-sp2,jobs=60,load=0.8", "--policy", "easy"])
+        assert code == 0
+        assert "easy-backfill" in capsys.readouterr().out
+
+    def test_file_trace_rejects_jobs_and_seed_flags(self, trace_path, capsys):
+        assert main(["trace", "info", str(trace_path), "--jobs", "5"]) == 2
+        assert "do not apply" in capsys.readouterr().err
+        assert main(["trace", "build", str(trace_path), "--seed", "9"]) == 2
+        assert "do not apply" in capsys.readouterr().err
+        assert main(["trace", "info", str(trace_path)]) == 0

@@ -176,3 +176,33 @@ class TestE10Warmstones:
             mapper for (graph, system), mapper in result.winners.items() if system != "cluster"
         }
         assert heterogeneous_winners & {"min-min", "max-min", "heft"}
+
+
+class TestE11Traces:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        from repro.experiments import e11_traces
+
+        patcher = pytest.MonkeyPatch()
+        patcher.setenv(
+            "REPRO_TRACE_CACHE", str(tmp_path_factory.mktemp("trace-cache"))
+        )
+        try:
+            yield e11_traces.run(traces=("ctc-sp2",), loads=(0.7, 1.0), jobs=250, seed=4)
+        finally:
+            patcher.undo()
+
+    def test_digests_match_the_spec(self, result):
+        from repro.traces import trace_from_spec
+
+        for cell, spec in result.specs.items():
+            assert trace_from_spec(spec).digest == result.digests[cell]
+
+    def test_backfilling_beats_fcfs_on_trace_replays(self, result):
+        for cell in result.cells:
+            assert result.backfill_speedup(*cell) > 1.0
+
+    def test_rows_cover_every_cell_and_policy(self, result):
+        rows = result.rows()
+        assert len(rows) == len(result.cells) * 2
+        assert all(len(row["digest"]) == 12 for row in rows)

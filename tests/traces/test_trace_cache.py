@@ -1,0 +1,72 @@
+"""Tests for the on-disk trace materialization cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.swf import canonical_swf_bytes
+from repro.traces import TraceCache, default_cache_root, trace_from_spec
+
+SPEC = "trace:ctc-sp2,jobs=60,seed=4,load=0.9"
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return TraceCache(tmp_path / "trace-cache")
+
+
+class TestCacheRoot:
+    def test_env_var_overrides_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "custom"))
+        assert default_cache_root() == tmp_path / "custom"
+        monkeypatch.delenv("REPRO_TRACE_CACHE")
+        assert default_cache_root().name == "repro-traces"
+
+
+class TestMaterialization:
+    def test_miss_builds_then_hit_parses(self, cache):
+        trace = trace_from_spec(SPEC)
+        first = trace.materialize(cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert trace.digest in cache
+        second = trace.materialize(cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert first == second
+        assert second.name == trace.name
+
+    def test_cached_bytes_are_canonical(self, cache):
+        trace = trace_from_spec(SPEC)
+        workload = trace.materialize(cache=cache)
+        on_disk = cache.path_for(trace.digest).read_bytes()
+        assert on_disk == canonical_swf_bytes(workload)
+
+    def test_corrupt_entry_is_rebuilt(self, cache):
+        trace = trace_from_spec(SPEC)
+        trace.materialize(cache=cache)
+        cache.path_for(trace.digest).write_text("; not an swf file\nbogus\n")
+        rebuilt = trace.materialize(cache=cache)
+        assert rebuilt == trace.build()
+        # ... and the overwritten entry is good again.
+        assert cache.get(trace.digest) == rebuilt
+
+    def test_use_cache_false_leaves_cache_untouched(self, cache):
+        trace = trace_from_spec(SPEC)
+        trace.materialize(cache=cache, use_cache=False)
+        assert trace.digest not in cache
+
+    def test_distinct_digests_get_distinct_entries(self, cache):
+        a = trace_from_spec(SPEC)
+        b = trace_from_spec("trace:ctc-sp2,jobs=60,seed=4,load=1.1")
+        a.materialize(cache=cache)
+        b.materialize(cache=cache)
+        assert a.digest in cache and b.digest in cache
+        assert cache.path_for(a.digest) != cache.path_for(b.digest)
+
+    def test_meta_sidecar_records_the_spec(self, cache):
+        import json
+
+        trace = trace_from_spec(SPEC)
+        trace.materialize(cache=cache)
+        meta = json.loads(cache.meta_path_for(trace.digest).read_text())
+        assert meta["spec"] == trace.spec
+        assert meta["digest"] == trace.digest

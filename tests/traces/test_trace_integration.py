@@ -1,0 +1,125 @@
+"""End-to-end trace tests: run()/run_many determinism and bench store keying."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Scenario, run, run_many
+from repro.bench.runner import run_suite
+from repro.bench.store import ResultStore, family_key, result_key
+from repro.bench.suite import BenchmarkCase, BenchmarkSuite
+from repro.core.swf import parse_swf, write_swf
+from repro.data import synthetic_archive
+
+
+@pytest.fixture(autouse=True)
+def isolated_trace_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "trace-cache"))
+
+
+class TestRunDeterminism:
+    SPEC = "trace:ctc-sp2,jobs=150,seed=6,load=1.2"
+
+    def test_run_is_deterministic_cold_and_warm(self):
+        cold = run(Scenario(workload=self.SPEC, policy="easy"))
+        warm = run(Scenario(workload=self.SPEC, policy="easy"))
+        assert cold.result.jobs == warm.result.jobs
+        assert cold.report == warm.report
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        scenarios = [
+            Scenario(workload=self.SPEC, policy=policy)
+            for policy in ("fcfs", "easy", "conservative")
+        ]
+        serial = run_many(scenarios)
+        parallel = run_many(scenarios, workers=3)
+        for s, p in zip(serial, parallel):
+            assert s.result.jobs == p.result.jobs
+            assert s.report == p.report
+
+    def test_grid_mode_reseeds_trace_per_site(self):
+        result = run(
+            Scenario(
+                workload="trace:ctc-sp2,jobs=40,load=0.7",
+                policy="grid:sites=2,meta_jobs=10",
+                machine_size=64,
+                seed=3,
+            )
+        )
+        assert result.grid is not None
+        assert len(result.result.jobs) > 0
+
+
+class TestStoreKeying:
+    def _suite_for(self, workload: str, seeds=(1, 2)) -> BenchmarkSuite:
+        scenario = Scenario(workload=workload, jobs=60)
+        return BenchmarkSuite(
+            name="trace-key-test",
+            description="store-keying fixture",
+            cases=(
+                BenchmarkCase(
+                    context=workload, scenario=scenario, seeds=tuple(seeds)
+                ),
+            ),
+        )
+
+    def test_entries_keyed_by_content_digest(self, tmp_path):
+        from repro.traces import trace_from_spec
+
+        store = ResultStore(tmp_path / "store")
+        outcome = run_suite(self._suite_for("trace:ctc-sp2,jobs=60,load=0.8"), store=store)
+        for replication in outcome.replications:
+            entry = store.get(replication.key)
+            assert entry is not None
+            digest = trace_from_spec(
+                "trace:ctc-sp2,jobs=60,load=0.8",
+                jobs=replication.scenario.jobs,
+                seed=replication.scenario.seed,
+            ).digest
+            assert entry.extra["trace"] == digest
+
+    def test_editing_trace_file_forces_cache_miss(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(synthetic_archive("ctc-sp2", jobs=60, seed=1), path)
+        store = ResultStore(tmp_path / "store")
+        suite = self._suite_for(str(path))
+
+        first = run_suite(suite, store=store)
+        assert first.cache_misses == 2
+
+        again = run_suite(suite, store=store)
+        assert again.cache_misses == 0
+
+        workload = parse_swf(path)
+        edited = workload.copy()
+        edited.jobs[0] = edited.jobs[0].replace(run_time=edited.jobs[0].run_time + 60)
+        write_swf(edited, path)
+
+        after_edit = run_suite(suite, store=store)
+        assert after_edit.cache_misses == 2  # same path, new content, no reuse
+
+    def test_trace_replications_share_a_family(self):
+        base = Scenario(workload="trace:ctc-sp2,jobs=60,load=0.8", jobs=60)
+        from repro.bench.runner import _trace_extra
+
+        extra_a = _trace_extra(base.with_(seed=1))
+        extra_b = _trace_extra(base.with_(seed=2))
+        assert extra_a["trace"] != extra_b["trace"]
+        assert extra_a["trace_family"] == extra_b["trace_family"]
+        assert result_key(base.with_(seed=1), extra_a) != result_key(
+            base.with_(seed=2), extra_b
+        )
+        assert family_key(base.with_(seed=1), extra_a) == family_key(
+            base.with_(seed=2), extra_b
+        )
+
+    def test_std_trace_suites_are_registered(self):
+        from repro.bench.suite import get_suite, suite_names
+
+        assert {"std-trace-smoke", "std-trace-ctc", "std-trace-archives"} <= set(
+            suite_names()
+        )
+        suite = get_suite("std-trace-smoke")
+        assert all(
+            case.scenario.workload.startswith("trace:") for case in suite.cases
+        )

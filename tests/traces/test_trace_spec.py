@@ -1,0 +1,151 @@
+"""Tests for the ``trace:`` spec grammar: parsing, formatting, round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Scenario
+from repro.api.registry import SpecError, UnknownNameError
+from repro.traces import (
+    ArchiveSource,
+    ModelSource,
+    split_trace_spec,
+    trace_for_scenario,
+    trace_from_spec,
+)
+
+
+class TestSplit:
+    def test_prefix_is_optional(self):
+        assert split_trace_spec("trace:ctc-sp2,load=1.2") == split_trace_spec(
+            "ctc-sp2,load=1.2"
+        )
+
+    def test_pairs_keep_spec_order(self):
+        _, pairs = split_trace_spec("ctc-sp2,load=1.2,slice=0:7d,min_size=4")
+        assert [key for key, _ in pairs] == ["load", "slice", "min_size"]
+
+    def test_slice_value_may_contain_colon(self):
+        _, pairs = split_trace_spec("ctc-sp2,slice=12h:2d")
+        assert pairs == [("slice", "12h:2d")]
+
+    @pytest.mark.parametrize("bad", ["", "   ", "trace:", "trace:,load=1.2"])
+    def test_empty_specs_rejected(self, bad):
+        with pytest.raises(SpecError):
+            split_trace_spec(bad)
+
+    def test_leading_key_value_rejected(self):
+        with pytest.raises(SpecError, match="must name a source"):
+            split_trace_spec("load=1.2,ctc-sp2")
+
+    def test_bare_key_rejected(self):
+        with pytest.raises(SpecError, match="key=value"):
+            split_trace_spec("ctc-sp2,load")
+
+
+class TestSourceResolution:
+    def test_archive_catalog_entry(self):
+        trace = trace_from_spec("trace:ctc-sp2,jobs=100,seed=3")
+        assert isinstance(trace.source, ArchiveSource)
+        assert (trace.source.key, trace.source.jobs, trace.source.seed) == (
+            "ctc-sp2",
+            100,
+            3,
+        )
+
+    def test_archive_defaults_are_content_stable(self):
+        assert trace_from_spec("ctc-sp2").digest == trace_from_spec("ctc-sp2").digest
+        assert trace_from_spec("ctc-sp2").source.seed == 0
+
+    def test_model_source_with_model_kwargs(self):
+        trace = trace_from_spec("trace:sessions,users=10,jobs=50,seed=2")
+        assert isinstance(trace.source, ModelSource)
+        assert trace.source.params == (("users", 10),)
+        assert len(trace.build()) == 50
+
+    def test_unseeded_model_is_canonicalized(self):
+        a = trace_from_spec("trace:lublin99,jobs=40")
+        b = trace_from_spec("trace:lublin99,jobs=40")
+        assert a.source.seed == 0 and a.digest == b.digest
+
+    def test_unknown_source_gets_did_you_mean(self):
+        with pytest.raises(UnknownNameError, match="ctc-sp2"):
+            trace_from_spec("trace:ctc-sp")
+
+    def test_catalog_entry_rejects_model_kwargs(self):
+        with pytest.raises(SpecError, match="does not accept"):
+            trace_from_spec("trace:ctc-sp2,users=10")
+
+    def test_file_source_rejects_generation_params(self, tmp_path):
+        with pytest.raises(SpecError, match="content"):
+            trace_from_spec(f"trace:{tmp_path}/x.swf,jobs=10")
+
+    def test_sample_seed_requires_sample(self):
+        with pytest.raises(SpecError, match="sample_seed without sample"):
+            trace_from_spec("trace:ctc-sp2,sample_seed=4")
+
+
+class TestRoundTrip:
+    SPECS = (
+        "trace:ctc-sp2,jobs=150,seed=2,load=1.2,slice=0:7d",
+        "trace:nasa-ipsc,jobs=80,scale=1.5,min_size=2,head=50",
+        "trace:lanl-cm5,jobs=90,sample=60,sample_seed=9",
+        "trace:lublin99,jobs=70,seed=1,machine_size=64,nodes=32",
+        "trace:sdsc-paragon,jobs=60,max_runtime=7200,queue=1",
+    )
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_format_parse_round_trip(self, spec):
+        trace = trace_from_spec(spec)
+        again = trace_from_spec(trace.spec)
+        assert again == trace
+        assert again.digest == trace.digest
+
+    def test_transform_order_is_part_of_the_spec(self):
+        a = trace_from_spec("ctc-sp2,load=1.2,slice=0:7d")
+        b = trace_from_spec("ctc-sp2,slice=0:7d,load=1.2")
+        assert a.spec != b.spec
+        assert a.digest != b.digest
+
+    def test_round_trip_through_scenario_json(self):
+        scenario = Scenario(
+            workload="trace:ctc-sp2,jobs=120,load=1.1,slice=0:3d",
+            policy="easy",
+            seed=5,
+        )
+        revived = Scenario.from_json(scenario.to_json())
+        assert revived == scenario
+        assert (
+            trace_for_scenario(revived).digest == trace_for_scenario(scenario).digest
+        )
+
+
+class TestScenarioDefaults:
+    def test_scenario_fields_feed_the_source(self):
+        scenario = Scenario(workload="trace:ctc-sp2", jobs=77, seed=3)
+        trace = trace_for_scenario(scenario)
+        assert (trace.source.jobs, trace.source.seed) == (77, 3)
+
+    def test_spec_keys_beat_scenario_fields(self):
+        scenario = Scenario(workload="trace:ctc-sp2,jobs=50,seed=9", jobs=77, seed=3)
+        trace = trace_for_scenario(scenario)
+        assert (trace.source.jobs, trace.source.seed) == (50, 9)
+
+    def test_seed_override_wins_over_scenario_seed(self):
+        scenario = Scenario(workload="trace:ctc-sp2", jobs=50, seed=3)
+        assert trace_for_scenario(scenario, seed=8).source.seed == 8
+
+    def test_non_trace_specs_resolve_to_none(self):
+        assert trace_for_scenario(Scenario(workload="lublin99")) is None
+        assert trace_for_scenario(Scenario(workload="ctc-sp2")) is None
+
+    def test_swf_paths_resolve_to_file_traces(self, tmp_path):
+        from repro.core.swf import write_swf
+        from repro.data import synthetic_archive
+
+        path = tmp_path / "t.swf"
+        write_swf(synthetic_archive("ctc-sp2", jobs=30, seed=1), path)
+        a = trace_for_scenario(Scenario(workload=str(path)))
+        b = trace_for_scenario(Scenario(workload=f"swf:{path}"))
+        assert a is not None and b is not None
+        assert a.digest == b.digest

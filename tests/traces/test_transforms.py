@@ -1,0 +1,193 @@
+"""Tests for the trace transformation pipeline: order, edges, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.swf.fields import MISSING
+from repro.traces import trace_from_spec
+from repro.traces.transforms import (
+    FieldFilter,
+    Head,
+    Resample,
+    RescaleMachine,
+    ScaleRate,
+    ScaleToLoad,
+    TimeSlice,
+    format_duration,
+    parse_duration,
+)
+
+DAY = 86400
+
+
+@pytest.fixture(scope="module")
+def base_workload():
+    return trace_from_spec("trace:ctc-sp2,jobs=400,seed=1").build()
+
+
+class TestDurations:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [("90", 90), ("90s", 90), ("5m", 300), ("2h", 7200), ("7d", 7 * DAY), ("1w", 7 * DAY)],
+    )
+    def test_parse(self, text, seconds):
+        assert parse_duration(text) == seconds
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "d7", "7 days", "-3d"):
+            with pytest.raises(ValueError):
+                parse_duration(bad)
+
+    @pytest.mark.parametrize("seconds", [90, 300, 7200, 7 * DAY, 3 * DAY + 1])
+    def test_format_round_trips(self, seconds):
+        assert parse_duration(format_duration(seconds)) == seconds
+
+
+class TestScaling:
+    def test_scale_to_load_hits_the_target(self, base_workload):
+        scaled = ScaleToLoad(target=1.2).apply(base_workload)
+        machine = scaled.header.max_nodes
+        assert scaled.offered_load(machine) == pytest.approx(1.2, rel=1e-3)
+
+    def test_scale_rate_compresses_arrivals(self, base_workload):
+        faster = ScaleRate(factor=2.0).apply(base_workload)
+        assert faster.span() < base_workload.span()
+        assert len(faster) == len(base_workload)
+
+    def test_scaling_empty_workload_raises(self, base_workload):
+        empty = TimeSlice(start=0, end=0).apply(base_workload)
+        with pytest.raises(ValueError, match="offered load"):
+            ScaleToLoad(target=1.0).apply(empty)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_positive_parameters_enforced(self, bad):
+        with pytest.raises(ValueError):
+            ScaleToLoad(target=bad)
+        with pytest.raises(ValueError):
+            ScaleRate(factor=bad)
+
+
+class TestSlice:
+    def test_half_open_interval_partitions(self, base_workload):
+        first = TimeSlice(start=0, end=7 * DAY).apply(base_workload)
+        second = TimeSlice(start=7 * DAY, end=None).apply(base_workload)
+        assert len(first) + len(second) == len(base_workload)
+        assert len(first) > 0 and len(second) > 0
+
+    def test_boundary_job_belongs_to_the_next_slice(self, workload_factory, job_factory):
+        workload = workload_factory(
+            [job_factory(1, submit=0), job_factory(2, submit=100), job_factory(3, submit=200)]
+        )
+        kept = TimeSlice(start=0, end=100).apply(workload)
+        assert [j.submit_time for j in kept] == [0]
+        tail = TimeSlice(start=100, end=None).apply(workload)
+        assert len(tail) == 2
+
+    def test_slice_reorigins_and_renumbers(self, workload_factory, job_factory):
+        workload = workload_factory(
+            [job_factory(1, submit=50), job_factory(2, submit=150), job_factory(3, submit=250)]
+        )
+        kept = TimeSlice(start=100, end=300).apply(workload)
+        assert [j.submit_time for j in kept] == [0, 100]
+        assert [j.job_number for j in kept] == [1, 2]
+
+    def test_empty_slice_is_a_legitimate_result(self, base_workload):
+        horizon = base_workload.span() + DAY
+        empty = TimeSlice(start=horizon, end=None).apply(base_workload)
+        assert len(empty) == 0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSlice(start=100, end=50)
+        with pytest.raises(ValueError):
+            TimeSlice(start=-1, end=None)
+
+
+class TestFilters:
+    def test_size_filter_bounds(self, base_workload):
+        kept = FieldFilter(key="min_size", value=16).apply(base_workload)
+        assert kept.jobs and all(j.processors >= 16 for j in kept)
+        small = FieldFilter(key="max_size", value=8).apply(base_workload)
+        assert all(j.processors <= 8 for j in small)
+
+    def test_runtime_and_queue_filters(self, base_workload):
+        short = FieldFilter(key="max_runtime", value=3600).apply(base_workload)
+        assert all(j.run_time <= 3600 for j in short)
+        batch = FieldFilter(key="queue", value=1).apply(base_workload)
+        assert all(j.queue_number == 1 for j in batch)
+
+    def test_missing_fields_are_dropped(self, workload_factory, job_factory):
+        workload = workload_factory(
+            [job_factory(1, runtime=100), job_factory(2).replace(run_time=MISSING)]
+        )
+        kept = FieldFilter(key="min_runtime", value=1).apply(workload)
+        assert len(kept) == 1
+
+    def test_filter_to_empty_is_allowed(self, base_workload):
+        none_left = FieldFilter(key="min_size", value=10**6).apply(base_workload)
+        assert len(none_left) == 0
+
+    def test_unknown_filter_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown filter"):
+            FieldFilter(key="min_color", value=1)
+
+
+class TestResample:
+    def test_seed_determinism(self, base_workload):
+        a = Resample(jobs=100, seed=4).apply(base_workload)
+        b = Resample(jobs=100, seed=4).apply(base_workload)
+        c = Resample(jobs=100, seed=5).apply(base_workload)
+        assert a == b
+        assert a != c
+        assert len(a) == 100
+
+    def test_resample_clears_dependencies(self, base_workload):
+        sampled = Resample(jobs=50, seed=1).apply(base_workload)
+        assert all(j.preceding_job == MISSING for j in sampled)
+
+    def test_resample_empty_trace_raises(self, base_workload):
+        empty = Head(jobs=0).apply(base_workload)
+        with pytest.raises(ValueError, match="empty"):
+            Resample(jobs=10, seed=0).apply(empty)
+
+
+class TestRescaleMachine:
+    def test_sizes_follow_the_machine(self, base_workload):
+        smaller = RescaleMachine(nodes=64).apply(base_workload)
+        assert smaller.header.max_nodes == 64
+        assert smaller.max_processors() <= 64
+        assert len(smaller) == len(base_workload)
+
+    def test_sizes_never_drop_below_one(self, workload_factory, job_factory):
+        workload = workload_factory([job_factory(1, processors=1)], machine_size=32)
+        rescaled = RescaleMachine(nodes=8).apply(workload)
+        assert rescaled[0].processors == 1
+
+    def test_unsized_workload_rejected(self, job_factory):
+        from repro.core.swf import Workload
+
+        bare = Workload([job_factory(1).replace(allocated_processors=MISSING,
+                                                requested_processors=MISSING)])
+        with pytest.raises(ValueError, match="no machine size"):
+            RescaleMachine(nodes=8).apply(bare)
+
+
+class TestCompositionOrder:
+    def test_load_then_slice_differs_from_slice_then_load(self):
+        base = trace_from_spec("trace:ctc-sp2,jobs=400,seed=1")
+        a = base.scale_to_load(1.3).slice_window(0, 7 * DAY).build()
+        b = base.slice_window(0, 7 * DAY).scale_to_load(1.3).build()
+        # Compressing arrivals first pushes more jobs inside the window.
+        assert len(a) != len(b)
+
+    def test_pipeline_applies_in_spec_order(self):
+        spec = "trace:ctc-sp2,jobs=400,seed=1,load=1.3,slice=0:7d"
+        by_spec = trace_from_spec(spec).build()
+        by_api = (
+            trace_from_spec("trace:ctc-sp2,jobs=400,seed=1")
+            .scale_to_load(1.3)
+            .slice_window(0, 7 * DAY)
+            .build()
+        )
+        assert by_spec == by_api
