@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.api.registry import (
     UnknownNameError,
@@ -394,12 +394,44 @@ def _run_task(task) -> ScenarioResult:
     return run(scenario, workload=workload, outages=outages)
 
 
+def _run_indexed(indexed_task) -> tuple:
+    index, task = indexed_task
+    return index, _run_task(task)
+
+
+def _prewarm_traces(tasks) -> None:
+    """Materialize every distinct ``trace:`` workload once before forking.
+
+    Without this, a cold trace cache makes every worker process rebuild and
+    rewrite the same canonical SWF file (atomic writes keep that *correct*,
+    but the build cost multiplies by the worker count).  Warming the cache in
+    the parent means workers only ever read.  Scenarios carrying an explicit
+    workload override never re-materialize, so they are skipped.
+    """
+    cache = None
+    warmed: set = set()
+    for scenario, workload, _outages in tasks:
+        if workload is not None or not scenario.workload.startswith("trace:"):
+            continue
+        from repro.traces import TraceCache, trace_for_scenario
+
+        trace = trace_for_scenario(scenario)
+        if trace is None or trace.digest in warmed:
+            continue
+        warmed.add(trace.digest)
+        if cache is None:
+            cache = TraceCache()
+        if trace.digest not in cache:
+            trace.materialize(cache=cache)
+
+
 def run_many(
     scenarios: Sequence[Scenario],
     workers: Optional[int] = None,
     *,
     workloads: Union[None, Workload, Sequence[Optional[Workload]]] = None,
     outages: Union[None, OutageLog, Sequence[Optional[OutageLog]]] = None,
+    on_result: Optional[Callable[[int, ScenarioResult], None]] = None,
 ) -> List[ScenarioResult]:
     """Run scenarios serially or across ``workers`` processes, in input order.
 
@@ -407,6 +439,11 @@ def run_many(
     object is shared by every scenario, a sequence is matched element-wise.
     Runs are independent and fully seeded, so ``workers=N`` reproduces the
     serial per-job results bit-for-bit.
+
+    ``on_result(index, result)`` is called in the parent process as each
+    scenario finishes — in completion order under ``workers=N``, which is
+    what incremental progress reporting (the serve daemon, long suites)
+    needs.  The returned list is always in input order regardless.
     """
     scenarios = list(scenarios)
     tasks = list(
@@ -419,6 +456,20 @@ def run_many(
     if not tasks:
         return []
     if workers is None or workers <= 1 or len(tasks) == 1:
-        return [_run_task(task) for task in tasks]
+        results = []
+        for index, task in enumerate(tasks):
+            result = _run_task(task)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+    _prewarm_traces(tasks)
+    results_by_index: List[Optional[ScenarioResult]] = [None] * len(tasks)
     with multiprocessing.Pool(processes=min(workers, len(tasks))) as pool:
-        return pool.map(_run_task, tasks, chunksize=1)
+        for index, result in pool.imap_unordered(
+            _run_indexed, list(enumerate(tasks)), chunksize=1
+        ):
+            results_by_index[index] = result
+            if on_result is not None:
+                on_result(index, result)
+    return results_by_index

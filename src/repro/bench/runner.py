@@ -18,7 +18,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.registry import parse_spec, scheduler_registry
 from repro.api.runner import resolve_workload, run_many
@@ -240,43 +240,53 @@ def run_suite(
     store: Optional[ResultStore] = None,
     use_cache: bool = True,
     confidence: float = 0.95,
+    progress: Optional[Callable[[int, int, bool], None]] = None,
 ) -> SuiteRunResult:
     """Run a suite (by name or instance), reusing cached replications.
 
     ``store=None`` disables persistence entirely; with a store, ``use_cache=
     False`` skips reads but still writes, refreshing every entry.  Runs are
     fully seeded, so ``workers=N`` reproduces serial results bit-for-bit.
+
+    ``progress(done, total, cached)`` is called once per distinct work unit
+    (unique result key) as it resolves — immediately for cache hits, at
+    completion for simulated misses — so a long suite can be watched live
+    (the serve daemon's job progress reads exactly this).  Fresh results are
+    persisted as they complete, not at the end, so an interrupted run keeps
+    everything it finished.
     """
     suite = _resolve_suite(suite)
     started = time.perf_counter()
     entries = _expand(suite)
 
+    # A key can appear twice when cases overlap; it is one work unit.
+    unique: Dict[str, tuple] = {}
+    for entry in entries:
+        unique.setdefault(entry[4], entry)
+    total = len(unique)
+    done = 0
+
     reports: Dict[str, MetricsReport] = {}
     if store is not None and use_cache:
-        for _case, _seed, _scenario, _extra, key in entries:
-            if key not in reports:
-                hit = store.get(key)
-                if hit is not None:
-                    reports[key] = hit.report
+        for key in unique:
+            hit = store.get(key)
+            if hit is not None:
+                reports[key] = hit.report
+                done += 1
+                if progress is not None:
+                    progress(done, total, True)
 
-    misses = [e for e in entries if e[4] not in reports]
-    # A key can appear twice when suites overlap; simulate it once.
-    unique_misses: Dict[str, tuple] = {}
-    for entry in misses:
-        unique_misses.setdefault(entry[4], entry)
+    unique_misses: Dict[str, tuple] = {
+        key: entry for key, entry in unique.items() if key not in reports
+    }
     if unique_misses:
         ordered = list(unique_misses.values())
-        scenario_results = run_many(
-            [scenario for _c, _s, scenario, _e, _k in ordered],
-            workers=workers,
-            workloads=_shared_workloads(ordered),
-            outages=[case.outage_log(seed) for case, seed, _sc, _e, _k in ordered],
-        )
-        amortized = (time.perf_counter() - started) / len(ordered)
-        for (case, seed, scenario, extra, key), scenario_result in zip(
-            ordered, scenario_results
-        ):
+
+        def _record(index: int, scenario_result) -> None:
+            nonlocal done
+            case, seed, scenario, extra, key = ordered[index]
             reports[key] = scenario_result.report
+            done += 1
             if store is not None:
                 store.put(
                     StoredResult(
@@ -286,9 +296,20 @@ def run_suite(
                         extra=extra,
                         suite=suite.name,
                         case=case.name,
-                        elapsed_seconds=amortized,
+                        elapsed_seconds=(time.perf_counter() - started)
+                        / max(1, done - (total - len(ordered))),
                     )
                 )
+            if progress is not None:
+                progress(done, total, False)
+
+        run_many(
+            [scenario for _c, _s, scenario, _e, _k in ordered],
+            workers=workers,
+            workloads=_shared_workloads(ordered),
+            outages=[case.outage_log(seed) for case, seed, _sc, _e, _k in ordered],
+            on_result=_record,
+        )
 
     # Only the first entry per simulated key counts as a miss: a duplicate
     # key later in the suite is served from this run's own result, exactly

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.api.scenario import Scenario
 from repro.metrics.basic import MetricsReport
@@ -32,6 +33,7 @@ from repro.util import atomic_write, canonical_hash as _canonical_hash
 
 __all__ = [
     "STORE_VERSION",
+    "GCStats",
     "ResultStore",
     "StoredResult",
     "result_key",
@@ -39,6 +41,38 @@ __all__ = [
     "code_version",
     "default_store_root",
 ]
+
+
+@dataclass
+class GCStats:
+    """What one garbage-collection pass over a content store did.
+
+    Shared by the benchmark result store and the trace cache (both grow
+    without bound otherwise); ``removed`` maps each evicted key to the
+    reason it went (``stale``, ``expired``, ``corrupt``).
+    """
+
+    scanned: int = 0
+    kept: int = 0
+    freed_bytes: int = 0
+    removed: Dict[str, str] = field(default_factory=dict)
+    dry_run: bool = False
+
+    def summary(self) -> str:
+        reasons: Dict[str, int] = {}
+        for reason in self.removed.values():
+            reasons[reason] = reasons.get(reason, 0) + 1
+        breakdown = (
+            " (" + ", ".join(f"{n} {r}" for r, n in sorted(reasons.items())) + ")"
+            if reasons
+            else ""
+        )
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"scanned {self.scanned} entries: kept {self.kept}, {verb} "
+            f"{len(self.removed)}{breakdown}, "
+            f"{self.freed_bytes / 1024:.1f} KiB freed"
+        )
 
 #: Cache-format / simulator-semantics version; bump to invalidate the store.
 STORE_VERSION = "v1"
@@ -296,3 +330,68 @@ class ResultStore:
                 yield StoredResult.from_record(record)
             except (ValueError, KeyError, TypeError):
                 continue
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        max_age_days: Optional[float] = None,
+        drop_stale: bool = True,
+        dry_run: bool = False,
+    ) -> GCStats:
+        """Evict entries by age and by stale code/format version.
+
+        An entry is evicted when (a) ``drop_stale`` and it was written by a
+        different code version (package version or :data:`STORE_VERSION`
+        bump) — such entries can never be cache hits again, their keys embed
+        the version; (b) ``max_age_days`` is set and the entry file is older;
+        or (c) the file no longer parses.  ``dry_run`` reports without
+        deleting.  Empty shard directories are pruned, and the store-wide
+        index self-invalidates through the shard mtimes the deletions bump.
+        """
+        stats = GCStats(dry_run=dry_run)
+        if not self.root.is_dir():
+            return stats
+        cutoff = (
+            time.time() - max_age_days * 86400.0
+            if max_age_days is not None
+            else None
+        )
+        current = code_version()
+        shards: List[Path] = []
+        for path in sorted(self.root.glob("*/*.json")):
+            stats.scanned += 1
+            reason = None
+            entry = self.get(path.stem)
+            if entry is None:
+                reason = "corrupt"
+            elif drop_stale and entry.code != current:
+                reason = "stale"
+            elif cutoff is not None:
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        reason = "expired"
+                except OSError:
+                    reason = "corrupt"
+            if reason is None:
+                stats.kept += 1
+                continue
+            stats.removed[path.stem] = reason
+            try:
+                stats.freed_bytes += path.stat().st_size
+            except OSError:
+                pass
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                shards.append(path.parent)
+        if not dry_run:
+            for shard in set(shards):
+                try:
+                    shard.rmdir()  # only succeeds when the shard emptied
+                except OSError:
+                    pass
+        return stats

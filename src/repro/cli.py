@@ -21,6 +21,9 @@ experiment — are all available from the shell::
     python -m repro.cli bench run smoke --workers 2
     python -m repro.cli bench compare fcfs backfill --suite std-space
     python -m repro.cli bench report
+    python -m repro.cli bench gc --max-age-days 30
+    python -m repro.cli trace gc --dry-run
+    python -m repro.cli serve --port 8765 --workers 2 --queue-limit 8
 
 Policies and workload models are resolved through the registries in
 :mod:`repro.api` — every registered name is reachable, and spec strings
@@ -166,6 +169,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="build fresh; leave the cache untouched"
     )
 
+    t_gc = trace_sub.add_parser(
+        "gc", help="evict cached trace artifacts by age and stale format version"
+    )
+    t_gc.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="also evict artifacts older than this many days",
+    )
+    t_gc.add_argument(
+        "--keep-stale", action="store_true",
+        help="keep artifacts from other TRACE_FORMAT versions",
+    )
+    t_gc.add_argument("--dry-run", action="store_true", help="report without deleting")
+    t_gc.add_argument(
+        "--cache", default=None,
+        help="trace-cache directory (default: $REPRO_TRACE_CACHE or ~/.cache/repro-traces)",
+    )
+
     p_bench = sub.add_parser(
         "bench",
         help="standardized benchmark suites: cached replications, CIs, verdicts",
@@ -210,6 +230,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b_report.add_argument("--confidence", type=float, default=0.95)
     b_report.add_argument("--markdown", dest="markdown_out", default=None, help="write the markdown report here")
+
+    b_gc = bench_sub.add_parser(
+        "gc", help="evict result-store entries by age and stale code version"
+    )
+    b_gc.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="also evict entries older than this many days",
+    )
+    b_gc.add_argument(
+        "--keep-stale", action="store_true",
+        help="keep entries from other code/STORE_VERSION generations",
+    )
+    b_gc.add_argument("--dry-run", action="store_true", help="report without deleting")
+    b_gc.add_argument(
+        "--store", default=None,
+        help="result-store directory (default: $REPRO_BENCH_STORE or ~/.cache/repro-bench)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the evaluation service daemon (coalescing, digest-keyed caching)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765, help="0 binds an ephemeral port")
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="concurrent evaluation jobs"
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=8,
+        help="admitted-but-waiting jobs before submissions get HTTP 429",
+    )
+    p_serve.add_argument(
+        "--run-workers", type=int, default=None,
+        help="processes each job's run_many fan-out may use (default: serial)",
+    )
+    p_serve.add_argument(
+        "--store", default=None,
+        help="result-store directory (default: $REPRO_BENCH_STORE or ~/.cache/repro-bench)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore cached results (fresh runs still refresh the store)",
+    )
 
     return parser
 
@@ -352,6 +415,16 @@ def _cmd_trace(args) -> int:
     from repro.traces import TraceCache, trace_from_spec, trace_names, trace_registry
 
     try:
+        if args.trace_command == "gc":
+            cache = TraceCache(args.cache)
+            stats = cache.gc(
+                max_age_days=args.max_age_days,
+                drop_stale=not args.keep_stale,
+                dry_run=args.dry_run,
+            )
+            print(f"trace cache {cache.root}: {stats.summary()}")
+            return 0
+
         if args.trace_command == "ls":
             rows = []
             for name in trace_names():
@@ -459,6 +532,13 @@ def _cmd_bench(args) -> int:
             print(result.summary())
             _write_text(args.json_out, to_json_text(comparison_json(result)))
             _write_text(args.markdown_out, comparison_markdown(result))
+        elif args.bench_command == "gc":
+            stats = store.gc(
+                max_age_days=args.max_age_days,
+                drop_stale=not args.keep_stale,
+                dry_run=args.dry_run,
+            )
+            print(f"bench store {store.root}: {stats.summary()}")
         else:  # report
             text = report_from_store(
                 store, suite=args.suite, confidence=args.confidence
@@ -469,6 +549,26 @@ def _cmd_bench(args) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.daemon import ServeConfig, serve
+
+    try:
+        return serve(
+            ServeConfig(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                queue_limit=args.queue_limit,
+                run_workers=args.run_workers,
+                store=args.store,
+                use_cache=not args.no_cache,
+            )
+        )
+    except (ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 def _cmd_experiment(args) -> int:
@@ -503,6 +603,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
 }
 
 

@@ -1,0 +1,75 @@
+"""``repro serve``: the scheduler-evaluation service.
+
+The paper's case for *shared* evaluation standards becomes an economic
+argument once evaluation is served: identical questions must share one
+computation.  This package is the serving layer over the substrate the
+library already has — JSON :class:`~repro.api.scenario.Scenario` specs, the
+content-addressed :class:`~repro.bench.store.ResultStore`, digest-addressed
+traces — exposed as a small stdlib-only HTTP daemon:
+
+* :mod:`repro.serve.service` — digest-keyed jobs, request coalescing, the
+  bounded admission queue with backpressure, graceful draining, and the
+  transport-agnostic request router;
+* :mod:`repro.serve.daemon`  — the asyncio HTTP/1.1 adapter and the
+  blocking :func:`~repro.serve.daemon.serve` entry point behind
+  ``repro serve``;
+* :mod:`repro.serve.html`    — the self-contained HTML report view at
+  ``/v1/reports/<digest>``.
+
+Endpoints: ``POST /v1/runs``, ``GET /v1/runs[/<id>]``,
+``GET /v1/results/<digest>`` (ETag/304), ``GET /v1/reports/<digest>``,
+``GET /v1/healthz``.
+
+Attributes load lazily (PEP 562, same idiom as :mod:`repro.api`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    # service
+    "EvaluationService",
+    "Evaluation",
+    "Job",
+    "Response",
+    "SubmissionError",
+    "QueueFull",
+    "ServiceDraining",
+    "resolve_submission",
+    # daemon
+    "ServeConfig",
+    "ReproServer",
+    "serve",
+    # html
+    "render_report",
+]
+
+_SERVICE_NAMES = {
+    "EvaluationService",
+    "Evaluation",
+    "Job",
+    "Response",
+    "SubmissionError",
+    "QueueFull",
+    "ServiceDraining",
+    "resolve_submission",
+}
+_DAEMON_NAMES = {"ServeConfig", "ReproServer", "serve"}
+_HTML_NAMES = {"render_report"}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SERVICE_NAMES:
+        from repro.serve import service as module
+    elif name in _DAEMON_NAMES:
+        from repro.serve import daemon as module
+    elif name in _HTML_NAMES:
+        from repro.serve import html as module
+    else:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(module, name)
+
+
+def __dir__() -> list:
+    return sorted(__all__)

@@ -1,0 +1,199 @@
+"""The asyncio HTTP daemon: one thin transport over the evaluation service.
+
+``repro serve`` binds this server; everything interesting — coalescing,
+caching, backpressure — lives in :class:`~repro.serve.service.
+EvaluationService`, which maps (method, path, headers, body) to a
+:class:`~repro.serve.service.Response`.  This module only speaks HTTP/1.1:
+it parses one request per connection (``Connection: close`` — evaluation
+clients poll at human timescales, so connection reuse buys nothing and
+keep-alive state would complicate draining), enforces a body size limit,
+and writes the response.
+
+Shutdown is graceful end to end: SIGINT/SIGTERM stop the listener first
+(no new connections), then drain the service (admitted jobs run to
+completion), then return from :func:`serve`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from dataclasses import dataclass
+from http import HTTPStatus
+from typing import Optional, Tuple
+
+from repro.bench.store import ResultStore
+from repro.serve.service import EvaluationService, Response
+
+__all__ = ["ServeConfig", "ReproServer", "serve"]
+
+#: Largest accepted request body (a Scenario or suite name; 1 MiB is ample).
+MAX_BODY_BYTES = 1 << 20
+
+#: Server identification header.
+SERVER_NAME = "repro-serve"
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` configures, defaulted for local use."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    #: concurrent evaluation jobs (executor threads)
+    workers: int = 2
+    #: admitted-but-waiting jobs before submissions get HTTP 429
+    queue_limit: int = 8
+    #: processes each job's ``run_many`` fan-out may use (None = serial)
+    run_workers: Optional[int] = None
+    #: result-store directory (None = $REPRO_BENCH_STORE or the default)
+    store: Optional[str] = None
+    use_cache: bool = True
+
+
+class ReproServer:
+    """The bound server: an :class:`EvaluationService` behind asyncio streams."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.service = EvaluationService(
+            store=ResultStore(config.store) if config.store else None,
+            workers=config.workers,
+            queue_limit=config.queue_limit,
+            run_workers=config.run_workers,
+            use_cache=config.use_cache,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Start workers and bind the listener; returns (host, port).
+
+        ``port=0`` binds an ephemeral port (tests use this); the returned
+        tuple always carries the real one.
+        """
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        """Stop accepting, then drain every admitted job to completion."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.drain()
+
+    # ------------------------------------------------------------------
+    # one connection = one request
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            response = await self._read_and_route(reader)
+            if response is not None:
+                await self._write_response(writer, response)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_and_route(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Response]:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=30)
+        except asyncio.TimeoutError:
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            return Response(400, b'{"error": "malformed request line"}\n')
+        method, target = parts[0].upper(), parts[1]
+
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return Response(400, b'{"error": "bad Content-Length"}\n')
+        if length < 0 or length > MAX_BODY_BYTES:
+            return Response(413, b'{"error": "request body too large"}\n')
+        body = await reader.readexactly(length) if length else b""
+        return self.service.handle_request(method, target, headers, body)
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        try:
+            phrase = HTTPStatus(response.status).phrase
+        except ValueError:
+            phrase = "Unknown"
+        lines = [
+            f"HTTP/1.1 {response.status} {phrase}",
+            f"Server: {SERVER_NAME}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            "Connection: close",
+        ]
+        lines.extend(f"{key}: {value}" for key, value in response.headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + response.body)
+        await writer.drain()
+
+
+def serve(config: ServeConfig) -> int:
+    """Run the daemon until SIGINT/SIGTERM; drains before returning.
+
+    This is the blocking entry point behind ``repro serve``.
+    """
+
+    async def _main() -> None:
+        server = ReproServer(config)
+        host, port = await server.start()
+        print(
+            f"repro serve listening on http://{host}:{port} "
+            f"(workers={config.workers}, queue-limit={config.queue_limit}, "
+            f"store={server.service.store.root})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix platforms fall back to KeyboardInterrupt
+        try:
+            await stop.wait()
+        finally:
+            print("repro serve: draining in-flight runs ...", flush=True)
+            await server.stop()
+            print("repro serve: drained, bye", flush=True)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - non-unix fallback path
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience launcher
+    sys.exit(serve(ServeConfig()))

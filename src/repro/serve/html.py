@@ -1,0 +1,148 @@
+"""Self-contained HTML rendering of serve result payloads.
+
+The daemon's ``/v1/reports/<digest>`` is the browsable face of the same
+machinery that writes markdown for CI artifacts: it renders the JSON
+payload (:func:`repro.bench.report.suite_json` output for suites, the
+scenario/report/metrics object for single runs) into one HTML page with no
+external references — inline style, no scripts, no fonts — so the page can
+be saved, attached to a CI run, or emailed and still render identically.
+
+Everything user-controlled passes through :func:`html.escape`.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["render_report"]
+
+_STYLE = """
+:root { color-scheme: light; }
+body { font-family: -apple-system, "Segoe UI", Helvetica, Arial, sans-serif;
+       margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #1a1f24; }
+h1 { font-size: 1.4rem; border-bottom: 2px solid #d0d7de; padding-bottom: .4rem; }
+h2 { font-size: 1.1rem; margin-top: 1.6rem; }
+code { background: #f6f8fa; padding: .1rem .3rem; border-radius: 4px;
+       font-size: .92em; }
+table { border-collapse: collapse; margin-top: .8rem; width: 100%; }
+th, td { border: 1px solid #d0d7de; padding: .35rem .6rem; text-align: left;
+         font-size: .92rem; }
+th { background: #f6f8fa; }
+tr:nth-child(even) td { background: #fbfcfd; }
+dl.facts { display: grid; grid-template-columns: max-content 1fr;
+           gap: .2rem 1rem; margin: .8rem 0; }
+dl.facts dt { font-weight: 600; }
+dl.facts dd { margin: 0; }
+.digest { font-size: .8rem; color: #57606a; word-break: break-all; }
+.footer { margin-top: 2rem; font-size: .8rem; color: #57606a;
+          border-top: 1px solid #d0d7de; padding-top: .6rem; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _facts(pairs: Iterable[Tuple[str, Any]]) -> str:
+    items = "".join(
+        f"<dt>{_esc(key)}</dt><dd>{_esc(value)}</dd>" for key, value in pairs
+    )
+    return f'<dl class="facts">{items}</dl>'
+
+
+def _table(columns: List[str], rows: List[List[str]]) -> str:
+    head = "".join(f"<th>{_esc(c)}</th>" for c in columns)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _ci_cell(ci: Dict[str, Any]) -> str:
+    mean = ci.get("mean")
+    half = ci.get("half_width")
+    lo, hi = ci.get("lo"), ci.get("hi")
+    if mean is None:
+        return "—"
+    title = f' title="[{lo:.6g}, {hi:.6g}]"' if lo is not None and hi is not None else ""
+    spread = f" ± {half:.3g}" if half is not None else ""
+    return f"<span{title}>{mean:.4g}{spread}</span>"
+
+
+def _page(title: str, body: str, digest: Optional[str]) -> str:
+    digest_line = (
+        f'<p class="digest">result digest <code>{_esc(digest)}</code></p>'
+        if digest
+        else ""
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        f"<h1>{_esc(title)}</h1>{digest_line}{body}"
+        '<p class="footer">rendered by <code>repro serve</code> — '
+        "content-addressed scheduler evaluation</p>"
+        "</body></html>"
+    )
+
+
+def _render_suite(payload: Dict[str, Any]) -> str:
+    metrics = [str(m) for m in payload.get("metrics", [])]
+    facts = _facts(
+        [
+            ("suite", payload.get("suite", "?")),
+            ("replications", payload.get("replications", "?")),
+            ("cache hits", payload.get("cache_hits", "?")),
+            ("simulated", payload.get("cache_misses", "?")),
+            ("elapsed", f"{payload.get('elapsed_seconds', 0.0):.2f} s"),
+            ("confidence", f"{payload.get('confidence', 0.0):.0%}"),
+        ]
+    )
+    columns = ["context", "policy", "seeds"] + metrics
+    rows = []
+    for case in payload.get("cases", []):
+        row = [
+            _esc(case.get("context", "")),
+            f"<code>{_esc(case.get('policy', ''))}</code>",
+            _esc(case.get("seeds", "")),
+        ]
+        case_metrics = case.get("metrics", {})
+        row.extend(_ci_cell(case_metrics.get(metric, {})) for metric in metrics)
+        rows.append(row)
+    note = (
+        "<p>Each cell is <em>mean ± half-width</em> over the case's "
+        "replication seeds; hover for the interval bounds.</p>"
+    )
+    return facts + note + _table(columns, rows)
+
+
+def _render_scenario(payload: Dict[str, Any]) -> str:
+    scenario = payload.get("scenario", {})
+    facts = _facts(
+        (key, value)
+        for key, value in sorted(scenario.items())
+        if value is not None
+    )
+    metrics = payload.get("metrics", {})
+    rows = [[f"<code>{_esc(k)}</code>", _esc(v)] for k, v in metrics.items()]
+    return (
+        "<h2>Scenario</h2>"
+        + facts
+        + "<h2>Metrics</h2>"
+        + _table(["metric", "value"], rows)
+    )
+
+
+def render_report(payload: Dict[str, Any]) -> str:
+    """One self-contained HTML page for a finished result payload."""
+    digest = payload.get("digest")
+    if payload.get("kind") == "scenario":
+        title = f"Scenario report — {payload.get('label', digest or '?')}"
+        body = _render_scenario(payload)
+    else:
+        title = f"Benchmark suite report — {payload.get('suite', digest or '?')}"
+        body = _render_suite(payload)
+    return _page(title, body, digest)

@@ -1,0 +1,536 @@
+"""The evaluation service: submissions, coalescing, the admission queue.
+
+This is the scheduler-evaluation economics the paper's shared-benchmark
+argument implies, made operational: every submission is reduced to a
+**content digest** before any work happens — a suite digests to the sorted
+set of its replications' result keys, a single scenario to its
+:func:`~repro.bench.store.result_key` — and that digest is the job id.  Two
+users asking the same question therefore *cannot* cause two computations:
+
+* a submission whose digest matches an in-flight or finished job joins it
+  (**request coalescing** — the second HTTP response carries the same id);
+* cases a previous run already answered are served straight from the
+  content-addressed :class:`~repro.bench.store.ResultStore`, and only the
+  misses fan out through ``run_many`` (exactly :func:`repro.bench.runner.
+  run_suite`, whose per-unit ``progress`` callback feeds live job status);
+* completed payloads are immutable — the digest names the bytes — which is
+  what makes the HTTP layer's ``ETag``/304 handling trivially correct.
+
+Admission is explicit: at most ``queue_limit`` jobs may wait, beyond which
+submissions are rejected with HTTP 429 (the daemon adds ``Retry-After``);
+``workers`` bounds concurrent evaluations (a thread pool — the simulators
+release work to ``run_many`` worker *processes*, so threads only wait).
+Draining stops admission (503) and lets everything already admitted finish.
+
+The class is transport-agnostic: :meth:`EvaluationService.handle_request`
+maps (method, path, headers, body) to a :class:`Response`, and the asyncio
+daemon in :mod:`repro.serve.daemon` is one thin adapter over it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.registry import RegistryError, parse_spec, scheduler_registry
+from repro.api.scenario import Scenario
+from repro.bench.runner import _expand, _trace_extra, run_suite
+from repro.bench.store import ResultStore, StoredResult, code_version, result_key
+from repro.bench.suite import BenchmarkSuite, get_suite
+from repro.serve.html import render_report
+from repro.util import canonical_hash
+
+__all__ = [
+    "EvaluationService",
+    "Evaluation",
+    "Job",
+    "Response",
+    "SubmissionError",
+    "QueueFull",
+    "ServiceDraining",
+    "resolve_submission",
+    "json_response",
+]
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+class SubmissionError(ValueError):
+    """The submission body does not describe a runnable evaluation (HTTP 400)."""
+
+
+class QueueFull(RuntimeError):
+    """The admission queue is at ``queue_limit`` (HTTP 429)."""
+
+
+class ServiceDraining(RuntimeError):
+    """The service is shutting down and admits nothing new (HTTP 503)."""
+
+
+# ----------------------------------------------------------------------
+# HTTP-shaped response (transport-agnostic)
+# ----------------------------------------------------------------------
+@dataclass
+class Response:
+    """One HTTP response: status, body, and any extra headers."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def json_response(status: int, payload: Any, **headers: str) -> Response:
+    body = (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode("utf-8")
+    return Response(status=status, body=body, headers=dict(headers))
+
+
+def html_response(status: int, text: str, **headers: str) -> Response:
+    return Response(
+        status=status,
+        body=text.encode("utf-8"),
+        content_type="text/html; charset=utf-8",
+        headers=dict(headers),
+    )
+
+
+# ----------------------------------------------------------------------
+# submissions → evaluations
+# ----------------------------------------------------------------------
+@dataclass
+class Evaluation:
+    """A resolved submission: what to run, and the digest that names it."""
+
+    kind: str  # "suite" | "scenario"
+    label: str
+    digest: str
+    #: distinct work units (unique result keys) the run resolves
+    total: int
+    suite: Optional[BenchmarkSuite] = None
+    scenario: Optional[Scenario] = None
+    #: non-scenario key material (trace digests) for the scenario kind
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def resolve_submission(payload: Any) -> Evaluation:
+    """Validate a submission body and reduce it to its content digest.
+
+    ``{"suite": "smoke"}`` names a registered suite; ``{"scenario": {...}}``
+    carries one Scenario JSON object.  Validation is eager — unknown suites,
+    unknown policies, and malformed trace specs are rejected here, at
+    submission time, not minutes later inside a worker.
+    """
+    if not isinstance(payload, dict):
+        raise SubmissionError("submission body must be a JSON object")
+    if "suite" in payload:
+        name = payload["suite"]
+        if not isinstance(name, str):
+            raise SubmissionError("'suite' must be a suite name string")
+        try:
+            suite = get_suite(name)
+            keys = sorted({entry[4] for entry in _expand(suite)})
+        except (RegistryError, KeyError, ValueError) as exc:
+            raise SubmissionError(str(exc)) from exc
+        digest = canonical_hash(
+            {"kind": "suite", "suite": suite.name, "keys": keys}
+        )
+        return Evaluation(
+            kind="suite",
+            label=f"suite:{suite.name}",
+            digest=digest,
+            total=len(keys),
+            suite=suite,
+        )
+    if "scenario" in payload:
+        if not isinstance(payload["scenario"], dict):
+            raise SubmissionError("'scenario' must be a Scenario JSON object")
+        try:
+            scenario = Scenario.from_dict(payload["scenario"])
+            # Resolve the policy spec now: a typo'd policy must 400, not
+            # fail the job later.
+            scheduler_registry.get(parse_spec(scenario.policy)[0])
+            extra = _trace_extra(scenario)
+        except (RegistryError, KeyError, TypeError, ValueError) as exc:
+            raise SubmissionError(str(exc)) from exc
+        digest = result_key(scenario, extra)
+        return Evaluation(
+            kind="scenario",
+            label=scenario.label,
+            digest=digest,
+            total=1,
+            scenario=scenario,
+            extra=extra,
+        )
+    raise SubmissionError("submission must contain 'suite' or 'scenario'")
+
+
+# ----------------------------------------------------------------------
+# jobs
+# ----------------------------------------------------------------------
+@dataclass
+class Job:
+    """One admitted evaluation, identified by its content digest."""
+
+    evaluation: Evaluation
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    done_units: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    error: Optional[str] = None
+
+    @property
+    def digest(self) -> str:
+        return self.evaluation.digest
+
+    def to_dict(self) -> Dict[str, Any]:
+        info: Dict[str, Any] = {
+            "id": self.digest,
+            "kind": self.evaluation.kind,
+            "label": self.evaluation.label,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "progress": {
+                "done": self.done_units,
+                "total": self.evaluation.total,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+            },
+            "links": {"self": f"/v1/runs/{self.digest}"},
+        }
+        if self.error is not None:
+            info["error"] = self.error
+        if self.state == DONE:
+            info["links"]["result"] = f"/v1/results/{self.digest}"
+            info["links"]["report"] = f"/v1/reports/{self.digest}"
+        return info
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+class EvaluationService:
+    """Digest-keyed evaluation jobs over the content-addressed bench store."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 2,
+        queue_limit: int = 8,
+        run_workers: Optional[int] = None,
+        use_cache: bool = True,
+        retry_after_seconds: int = 5,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.store = store if store is not None else ResultStore()
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.run_workers = run_workers
+        self.use_cache = use_cache
+        self.retry_after_seconds = retry_after_seconds
+        self.draining = False
+        #: every admitted job, by digest (the coalescing map)
+        self.jobs: Dict[str, Job] = {}
+        #: finished report payloads, by digest (immutable once present)
+        self.results: Dict[str, Dict[str, Any]] = {}
+        self.stats = {"submitted": 0, "coalesced": 0, "rejected": 0, "executed": 0}
+        self._queue: Optional[asyncio.Queue] = None
+        self._worker_tasks: List[asyncio.Task] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Create the admission queue and the worker tasks (idempotent)."""
+        if self._queue is not None:
+            return
+        self._queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._worker_tasks = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.workers)
+        ]
+
+    async def drain(self) -> None:
+        """Stop admission, run everything already admitted, stop workers.
+
+        Graceful by construction: ``queue.join()`` returns only after every
+        admitted job reached a terminal state, so a SIGTERM never discards
+        an accepted submission.
+        """
+        self.draining = True
+        if self._queue is None:
+            return
+        await self._queue.join()
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def queued_count(self) -> int:
+        return sum(1 for job in self.jobs.values() if job.state == QUEUED)
+
+    def submit(self, payload: Any) -> Tuple[Job, bool]:
+        """Admit a submission; returns ``(job, created)``.
+
+        Coalescing comes first: a digest already known — queued, running,
+        or finished — returns the existing job without consuming queue
+        capacity, so identical submissions are immune to backpressure.
+        """
+        evaluation = resolve_submission(payload)
+        existing = self.jobs.get(evaluation.digest)
+        if existing is not None:
+            self.stats["coalesced"] += 1
+            return existing, False
+        if self.draining or self._queue is None:
+            raise ServiceDraining("service is draining; not accepting new runs")
+        if self.queued_count() >= self.queue_limit:
+            self.stats["rejected"] += 1
+            raise QueueFull(
+                f"admission queue is full ({self.queue_limit} waiting)"
+            )
+        job = Job(evaluation=evaluation)
+        self.jobs[evaluation.digest] = job
+        self.stats["submitted"] += 1
+        self._queue.put_nowait(job)
+        return job, True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            try:
+                job.state = RUNNING
+                job.started_at = time.time()
+                self.stats["executed"] += 1
+                payload = await loop.run_in_executor(
+                    self._executor, self._execute, job
+                )
+                self.results[job.digest] = payload
+                job.state = DONE
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # a failed job must not kill the worker
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = FAILED
+            finally:
+                job.finished_at = time.time()
+                self._queue.task_done()
+
+    def _execute(self, job: Job) -> Dict[str, Any]:
+        """Run one job in the executor thread; returns the result payload."""
+        evaluation = job.evaluation
+
+        def progress(done: int, total: int, cached: bool) -> None:
+            # Plain attribute writes: read by the event-loop thread for
+            # status responses, which tolerates slight staleness.
+            job.done_units = done
+            if cached:
+                job.cache_hits += 1
+            else:
+                job.cache_misses += 1
+
+        if evaluation.kind == "suite":
+            result = run_suite(
+                evaluation.suite,
+                workers=self.run_workers,
+                store=self.store,
+                use_cache=self.use_cache,
+                progress=progress,
+            )
+            from repro.bench.report import suite_json
+
+            payload = suite_json(result)
+        else:
+            payload = self._execute_scenario(evaluation, progress)
+        payload.update(
+            {
+                "kind": evaluation.kind,
+                "digest": evaluation.digest,
+                "label": evaluation.label,
+                "code": code_version(),
+            }
+        )
+        return payload
+
+    def _execute_scenario(self, evaluation: Evaluation, progress) -> Dict[str, Any]:
+        from repro.api.runner import run
+
+        scenario = evaluation.scenario
+        hit = self.store.get(evaluation.digest) if self.use_cache else None
+        if hit is not None:
+            report = hit.report
+            progress(1, 1, True)
+        else:
+            started = time.perf_counter()
+            report = run(scenario).report
+            self.store.put(
+                StoredResult(
+                    key=evaluation.digest,
+                    scenario=scenario,
+                    report=report,
+                    extra=evaluation.extra,
+                    suite="serve",
+                    case=scenario.label,
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+            )
+            progress(1, 1, False)
+        return {
+            "scenario": scenario.to_dict(),
+            "report": report.to_json(),
+            "metrics": report.as_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # request routing
+    # ------------------------------------------------------------------
+    def handle_request(
+        self,
+        method: str,
+        path: str,
+        headers: Optional[Dict[str, str]] = None,
+        body: bytes = b"",
+    ) -> Response:
+        """Map one request to a :class:`Response` (the whole HTTP API)."""
+        headers = {k.lower(): v for k, v in (headers or {}).items()}
+        path = path.split("?", 1)[0]
+        if path == "/v1/healthz" and method == "GET":
+            return self._healthz()
+        if path == "/v1/runs":
+            if method == "POST":
+                return self._handle_submit(body)
+            if method == "GET":
+                return self._handle_list()
+        if path.startswith("/v1/runs/") and method == "GET":
+            return self._handle_status(path[len("/v1/runs/"):])
+        if path.startswith("/v1/results/") and method == "GET":
+            return self._handle_result(path[len("/v1/results/"):], headers)
+        if path.startswith("/v1/reports/") and method == "GET":
+            return self._handle_report(path[len("/v1/reports/"):], headers)
+        return json_response(404, {"error": f"no endpoint {method} {path}"})
+
+    def _healthz(self) -> Response:
+        from repro import __version__
+
+        by_state: Dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return json_response(
+            200,
+            {
+                "status": "draining" if self.draining else "ok",
+                "version": __version__,
+                "code": code_version(),
+                "workers": self.workers,
+                "queue_limit": self.queue_limit,
+                "jobs": by_state,
+                "stats": self.stats,
+                "store": str(self.store.root),
+            },
+        )
+
+    def _handle_submit(self, body: bytes) -> Response:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError):
+            return json_response(400, {"error": "request body is not valid JSON"})
+        try:
+            job, created = self.submit(payload)
+        except SubmissionError as exc:
+            return json_response(400, {"error": str(exc)})
+        except QueueFull as exc:
+            return json_response(
+                429,
+                {"error": str(exc)},
+                **{"Retry-After": str(self.retry_after_seconds)},
+            )
+        except ServiceDraining as exc:
+            return json_response(503, {"error": str(exc)})
+        info = job.to_dict()
+        info["coalesced"] = not created
+        return json_response(202 if created else 200, info)
+
+    def _handle_list(self) -> Response:
+        jobs = sorted(self.jobs.values(), key=lambda job: job.submitted_at)
+        return json_response(200, {"jobs": [job.to_dict() for job in jobs]})
+
+    def _handle_status(self, digest: str) -> Response:
+        job = self.jobs.get(digest)
+        if job is None:
+            return json_response(404, {"error": f"no run {digest!r}"})
+        return json_response(200, job.to_dict())
+
+    def _finished_payload(self, digest: str) -> Optional[Response]:
+        """A 404 explaining why ``digest`` has no result yet, or None."""
+        if digest in self.results:
+            return None
+        job = self.jobs.get(digest)
+        if job is None:
+            return json_response(404, {"error": f"no result {digest!r}"})
+        return json_response(
+            404,
+            {
+                "error": f"run {digest!r} has no result (state: {job.state})",
+                "state": job.state,
+            },
+        )
+
+    @staticmethod
+    def _etag_matches(etag: str, if_none_match: Optional[str]) -> bool:
+        if if_none_match is None:
+            return False
+        if if_none_match.strip() == "*":
+            return True
+        candidates = {tag.strip() for tag in if_none_match.split(",")}
+        return etag in candidates
+
+    def _handle_result(self, digest: str, headers: Dict[str, str]) -> Response:
+        missing = self._finished_payload(digest)
+        if missing is not None:
+            return missing
+        etag = f'"{digest}"'
+        cache_headers = {
+            "ETag": etag,
+            # The digest names the content; a hit can be cached forever.
+            "Cache-Control": "max-age=31536000, immutable",
+        }
+        if self._etag_matches(etag, headers.get("if-none-match")):
+            return Response(304, b"", headers=cache_headers)
+        return json_response(200, self.results[digest], **cache_headers)
+
+    def _handle_report(self, digest: str, headers: Dict[str, str]) -> Response:
+        missing = self._finished_payload(digest)
+        if missing is not None:
+            return missing
+        etag = f'"{digest}"'
+        cache_headers = {
+            "ETag": etag,
+            "Cache-Control": "max-age=31536000, immutable",
+        }
+        if self._etag_matches(etag, headers.get("if-none-match")):
+            return Response(304, b"", headers=cache_headers)
+        return html_response(200, render_report(self.results[digest]), **cache_headers)

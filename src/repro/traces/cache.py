@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Optional, Union
 
@@ -81,13 +82,91 @@ class TraceCache:
 
     def put(self, digest: str, workload: Workload, spec: str = "") -> Path:
         """Persist ``workload`` in canonical form under ``digest``."""
+        from repro.traces.trace import TRACE_FORMAT
+
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         atomic_write(path, canonical_swf_bytes(workload))
-        meta = {"digest": digest, "name": workload.name, "spec": spec}
+        meta = {
+            "digest": digest,
+            "name": workload.name,
+            "spec": spec,
+            "format": TRACE_FORMAT,
+        }
         atomic_write(
             self.meta_path_for(digest),
             (json.dumps(meta, sort_keys=True, indent=2) + "\n").encode("utf-8"),
         )
         self.misses += 1
         return path
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        max_age_days: Optional[float] = None,
+        drop_stale: bool = True,
+        dry_run: bool = False,
+    ):
+        """Evict materialized traces by age and by stale ``TRACE_FORMAT``.
+
+        A digest embeds the format version, so an artifact recorded under an
+        older format (or with no readable sidecar at all — e.g. a crash
+        between the SWF and sidecar writes) can never be looked up again;
+        ``drop_stale`` reclaims those.  ``max_age_days`` additionally evicts
+        artifacts whose SWF file is older.  Returns
+        :class:`~repro.bench.store.GCStats`; ``dry_run`` only reports.
+        """
+        from repro.bench.store import GCStats
+        from repro.traces.trace import TRACE_FORMAT
+
+        stats = GCStats(dry_run=dry_run)
+        if not self.root.is_dir():
+            return stats
+        cutoff = (
+            time.time() - max_age_days * 86400.0
+            if max_age_days is not None
+            else None
+        )
+        for path in sorted(self.root.glob("*/*.swf")):
+            stats.scanned += 1
+            digest = path.stem
+            reason = None
+            try:
+                with open(self.meta_path_for(digest), "r", encoding="utf-8") as handle:
+                    meta = json.load(handle)
+                if not isinstance(meta, dict):
+                    raise ValueError("sidecar is not an object")
+            except (OSError, ValueError):
+                if drop_stale:
+                    reason = "corrupt"
+            else:
+                if drop_stale and meta.get("format") != TRACE_FORMAT:
+                    reason = "stale"
+            if reason is None and cutoff is not None:
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        reason = "expired"
+                except OSError:
+                    reason = "corrupt"
+            if reason is None:
+                stats.kept += 1
+                continue
+            stats.removed[digest] = reason
+            for victim in (path, self.meta_path_for(digest)):
+                try:
+                    stats.freed_bytes += victim.stat().st_size
+                except OSError:
+                    continue
+                if not dry_run:
+                    try:
+                        victim.unlink()
+                    except OSError:
+                        pass
+            if not dry_run:
+                try:
+                    path.parent.rmdir()  # only succeeds when the shard emptied
+                except OSError:
+                    pass
+        return stats

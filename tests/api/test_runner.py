@@ -229,3 +229,87 @@ class TestRunMany:
         clone = pickle.loads(pickle.dumps(error))
         assert isinstance(clone, UnknownNameError)
         assert "did you mean 'easy'" in str(clone)
+
+
+class TestOnResultCallback:
+    def _scenarios(self):
+        return [
+            Scenario(workload="uniform:jobs=10,seed=1", policy=policy, machine_size=32)
+            for policy in ("fcfs", "easy", "conservative")
+        ]
+
+    def test_serial_calls_in_order(self):
+        seen = []
+        results = run_many(self._scenarios(),
+                           on_result=lambda i, r: seen.append(i))
+        assert seen == [0, 1, 2] and len(results) == 3
+
+    def test_parallel_calls_once_per_task_with_matching_results(self):
+        seen = {}
+        results = run_many(self._scenarios(), workers=3,
+                           on_result=lambda i, r: seen.setdefault(i, r))
+        assert sorted(seen) == [0, 1, 2]
+        # The callback sees the same object that lands in the result list.
+        for index, result in seen.items():
+            assert results[index] is result
+
+    def test_callback_runs_in_parent_process(self):
+        import os
+
+        pids = []
+        run_many(self._scenarios(), workers=2,
+                 on_result=lambda i, r: pids.append(os.getpid()))
+        assert set(pids) == {os.getpid()}
+
+
+class TestTracePrewarm:
+    SPEC = "trace:ctc-sp2,jobs=40,seed=9,load=0.8"
+
+    def _cache(self, tmp_path, monkeypatch):
+        from repro.traces import TraceCache
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "trace-cache"))
+        return TraceCache()
+
+    def test_prewarm_materializes_each_trace_once(self, tmp_path, monkeypatch):
+        from repro.api.runner import _prewarm_traces
+        from repro.traces import trace_from_spec
+
+        cache = self._cache(tmp_path, monkeypatch)
+        scenarios = [
+            Scenario(workload=self.SPEC, policy=policy, machine_size=64)
+            for policy in ("fcfs", "easy")
+        ]
+        tasks = [(s, None, None) for s in scenarios]
+        _prewarm_traces(tasks)
+        assert trace_from_spec(self.SPEC).digest in cache
+
+    def test_prewarm_skips_overrides_and_plain_specs(self, tmp_path, monkeypatch):
+        from repro.api.runner import _prewarm_traces
+
+        cache = self._cache(tmp_path, monkeypatch)
+        workload = make_workload([make_job(1)])
+        tasks = [
+            # explicit workload override: nothing to materialize
+            (Scenario(workload=self.SPEC, machine_size=64), workload, None),
+            # model spec: not trace-backed
+            (Scenario(workload="uniform:jobs=5,seed=1", machine_size=32), None, None),
+        ]
+        _prewarm_traces(tasks)
+        assert not list(cache.root.glob("*/*.swf"))
+
+    def test_parallel_trace_run_warms_cache_and_matches_serial(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.traces import trace_from_spec
+
+        cache = self._cache(tmp_path, monkeypatch)
+        scenarios = [
+            Scenario(workload=self.SPEC, policy=policy, machine_size=64)
+            for policy in ("fcfs", "easy")
+        ]
+        serial = run_many(scenarios)
+        assert trace_from_spec(self.SPEC).digest in cache
+        parallel = run_many(scenarios, workers=2)
+        for a, b in zip(serial, parallel):
+            assert _job_triples(a.result) == _job_triples(b.result)

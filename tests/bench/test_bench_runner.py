@@ -276,3 +276,67 @@ class TestReports:
         run_suite(tiny_suite(), store=store)
         monkeypatch.setattr("repro.bench.store.STORE_VERSION", "v999")
         assert "no cached results" in report_from_store(store)
+
+
+class TestProgressCallback:
+    def test_misses_then_hits_report_per_unit(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        suite = tiny_suite()  # 2 policies x 3 seeds = 6 unique units
+
+        first = []
+        run_suite(suite, store=store,
+                  progress=lambda done, total, cached: first.append(
+                      (done, total, cached)))
+        assert [e[0] for e in first] == [1, 2, 3, 4, 5, 6]
+        assert all(total == 6 for _d, total, _c in first)
+        assert all(cached is False for _d, _t, cached in first)
+
+        second = []
+        run_suite(suite, store=store,
+                  progress=lambda done, total, cached: second.append(
+                      (done, total, cached)))
+        assert [e[0] for e in second] == [1, 2, 3, 4, 5, 6]
+        assert all(cached is True for _d, _t, cached in second)
+
+    def test_partial_cache_mixes_hits_and_misses(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_suite(tiny_suite(policies=("fcfs",)), store=store)
+        events = []
+        run_suite(tiny_suite(policies=("fcfs", "easy")), store=store,
+                  progress=lambda done, total, cached: events.append(cached))
+        assert events.count(True) == 3 and events.count(False) == 3
+        # Hits arrive first (the cache scan precedes the fan-out).
+        assert events[:3] == [True, True, True]
+
+    def test_duplicate_keys_count_as_one_unit(self):
+        # Two cases with identical scenarios collapse to one work unit per
+        # seed; progress totals must reflect work, not roster size.
+        base = tiny_suite(policies=("fcfs",)).cases[0]
+        suite = BenchmarkSuite(
+            name="dup", description="", metrics=("mean_wait",),
+            cases=(base, BenchmarkCase(context=base.context + " (again)",
+                                       scenario=base.scenario,
+                                       seeds=base.seeds)),
+        )
+        events = []
+        run_suite(suite, progress=lambda done, total, cached: events.append(
+            (done, total)))
+        assert events == [(1, 3), (2, 3), (3, 3)]
+
+    def test_results_persist_incrementally(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        counts = []
+        run_suite(tiny_suite(policies=("fcfs",)), store=store,
+                  progress=lambda done, total, cached: counts.append(
+                      len(list(store.root.glob("*/*.json")))))
+        # Every progress event sees the just-finished unit already on disk.
+        assert counts == [1, 2, 3]
+
+    def test_progress_none_is_fine_and_workers_match(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        serial = run_suite(tiny_suite(), store=store)
+        events = []
+        parallel = run_suite(tiny_suite(jobs=41), workers=2, store=store,
+                             progress=lambda d, t, c: events.append(d))
+        assert sorted(events) == [1, 2, 3, 4, 5, 6]
+        assert serial.cache_misses == parallel.cache_misses == 6

@@ -1,0 +1,92 @@
+"""Tests for the self-contained HTML report renderer."""
+
+from __future__ import annotations
+
+from repro.serve.html import render_report
+
+SUITE_PAYLOAD = {
+    "kind": "suite",
+    "digest": "d" * 64,
+    "suite": "smoke",
+    "confidence": 0.95,
+    "metrics": ["mean_wait", "utilization"],
+    "replications": 6,
+    "cache_hits": 2,
+    "cache_misses": 4,
+    "elapsed_seconds": 1.25,
+    "cases": [
+        {
+            "case": "uniform@0.70/fcfs",
+            "context": "uniform@0.70",
+            "policy": "fcfs",
+            "seeds": 3,
+            "metrics": {
+                "mean_wait": {"mean": 123.4, "lo": 100.0, "hi": 150.0,
+                              "half_width": 25.0},
+                "utilization": {"mean": 0.71, "lo": 0.69, "hi": 0.73,
+                                "half_width": 0.02},
+            },
+        }
+    ],
+}
+
+SCENARIO_PAYLOAD = {
+    "kind": "scenario",
+    "digest": "e" * 64,
+    "label": "uniform/easy",
+    "scenario": {"workload": "uniform", "policy": "easy", "jobs": 40,
+                 "seed": 7, "machine_size": 32, "load": 0.6, "name": None},
+    "metrics": {"scheduler": "easy-backfill", "jobs": 40, "mean_wait": 5.2},
+}
+
+
+class TestSuiteReport:
+    def test_page_is_self_contained_html(self):
+        page = render_report(SUITE_PAYLOAD)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<style>" in page
+        # No external references: the page renders offline.
+        assert "http://" not in page and "https://" not in page
+        assert "<script" not in page
+
+    def test_suite_facts_and_cells(self):
+        page = render_report(SUITE_PAYLOAD)
+        assert "smoke" in page and "d" * 64 in page
+        assert "95%" in page  # confidence
+        assert "uniform@0.70" in page and "fcfs" in page
+        assert "123.4 ± 25" in page  # mean ± half-width
+        assert 'title="[100, 150]"' in page  # hover interval
+
+    def test_missing_metric_renders_placeholder(self):
+        payload = dict(SUITE_PAYLOAD, metrics=["mean_wait", "not_measured"])
+        page = render_report(payload)
+        assert "—" in page
+
+
+class TestScenarioReport:
+    def test_scenario_facts_and_metrics(self):
+        page = render_report(SCENARIO_PAYLOAD)
+        assert "uniform/easy" in page and "e" * 64 in page
+        assert "easy-backfill" in page and "5.2" in page
+        # None-valued scenario fields are dropped from the facts list.
+        assert "<dt>name</dt>" not in page
+
+
+class TestEscaping:
+    def test_user_controlled_strings_are_escaped(self):
+        payload = dict(
+            SCENARIO_PAYLOAD,
+            label='<script>alert("x")</script>',
+            scenario={"workload": "<b>&uniform</b>", "policy": 'e"vil'},
+            metrics={"scheduler": "<img src=x>"},
+        )
+        page = render_report(payload)
+        assert "<script>alert" not in page
+        assert "&lt;script&gt;" in page
+        assert "<b>&uniform</b>" not in page
+        assert "&lt;b&gt;&amp;uniform&lt;/b&gt;" in page
+        assert "<img" not in page
+
+    def test_unknown_kind_falls_back_to_suite_view(self):
+        page = render_report({"digest": "f" * 64, "suite": "mystery"})
+        assert "mystery" in page and "f" * 64 in page

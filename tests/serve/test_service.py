@@ -1,0 +1,442 @@
+"""Tests for the evaluation service: coalescing, caching, backpressure, drain.
+
+The harness boots the real asyncio daemon on an ephemeral port in a
+background thread and talks to it over real HTTP (``http.client``), so
+these tests cover the full stack: request parsing, routing, the admission
+queue, the executor, and the content-addressed store underneath.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.bench.runner import SuiteRunResult
+from repro.serve.daemon import ReproServer, ServeConfig
+from repro.serve.service import (
+    EvaluationService,
+    SubmissionError,
+    resolve_submission,
+)
+
+import http.client
+
+
+SCENARIO = {
+    "scenario": {
+        "workload": "uniform",
+        "jobs": 40,
+        "machine_size": 32,
+        "load": 0.6,
+        "seed": 7,
+    }
+}
+
+
+def scenario_body(seed: int = 7) -> str:
+    payload = {"scenario": dict(SCENARIO["scenario"], seed=seed)}
+    return json.dumps(payload)
+
+
+class ServerHarness:
+    """The daemon in a background thread, reachable over real sockets."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self._started = threading.Event()
+        self._failure = None
+        self.loop = None
+        self.server = None
+        self.host = None
+        self.port = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface boot failures to the test
+            self._failure = exc
+            self._started.set()
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.server = ReproServer(self.config)
+        self.host, self.port = await self.server.start()
+        self._started.set()
+        await self._stop.wait()
+        await self.server.stop()
+
+    def start(self) -> "ServerHarness":
+        self._thread.start()
+        assert self._started.wait(15), "server did not boot"
+        if self._failure is not None:
+            raise self._failure
+        return self
+
+    def stop(self) -> None:
+        if self._thread.is_alive() and self.loop is not None and self._stop is not None:
+            try:
+                self.loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed by a concurrent stop()
+        self._thread.join(60)
+        assert not self._thread.is_alive(), "server did not drain"
+
+    def request(self, method, path, body=None, headers=None):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=60)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            return response.status, dict(response.getheaders()), response.read()
+        finally:
+            conn.close()
+
+    def json(self, method, path, body=None, headers=None):
+        status, resp_headers, data = self.request(method, path, body, headers)
+        return status, resp_headers, json.loads(data)
+
+    def wait_for_state(self, job_id: str, states=("done", "failed"), timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _status, _headers, info = self.json("GET", f"/v1/runs/{job_id}")
+            if info["state"] in states:
+                return info
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never reached {states}")
+
+
+@pytest.fixture
+def harness(tmp_path):
+    servers = []
+
+    def _make(**overrides) -> ServerHarness:
+        config = ServeConfig(
+            host="127.0.0.1",
+            port=0,
+            store=str(tmp_path / "store"),
+            **overrides,
+        )
+        server = ServerHarness(config).start()
+        servers.append(server)
+        return server
+
+    yield _make
+    for server in servers:
+        server.stop()
+
+
+def fake_suite_result() -> SuiteRunResult:
+    return SuiteRunResult(
+        suite="smoke",
+        metrics=("mean_wait",),
+        confidence=0.95,
+        replications=[],
+        cache_hits=0,
+        cache_misses=6,
+        elapsed_seconds=0.01,
+    )
+
+
+class TestSubmissionResolution:
+    def test_suite_and_scenario_digests_are_stable(self):
+        a = resolve_submission({"suite": "smoke"})
+        b = resolve_submission({"suite": "smoke"})
+        assert a.digest == b.digest and a.kind == "suite" and a.total == 6
+
+        c = resolve_submission(SCENARIO)
+        d = resolve_submission({"scenario": dict(SCENARIO["scenario"])})
+        assert c.digest == d.digest and c.kind == "scenario" and c.total == 1
+
+    def test_different_submissions_get_different_digests(self):
+        base = resolve_submission(SCENARIO)
+        other = resolve_submission(
+            {"scenario": dict(SCENARIO["scenario"], seed=8)}
+        )
+        assert base.digest != other.digest
+        assert resolve_submission({"suite": "smoke"}).digest != base.digest
+
+    def test_invalid_submissions_rejected(self):
+        for bad in (
+            None,
+            [],
+            {},
+            {"suite": 7},
+            {"suite": "no-such-suite"},
+            {"scenario": "not-an-object"},
+            {"scenario": {"workload": "uniform", "policy": "no-such-policy"}},
+        ):
+            with pytest.raises(SubmissionError):
+                resolve_submission(bad)
+
+    def test_service_validates_bounds(self):
+        with pytest.raises(ValueError):
+            EvaluationService(workers=0)
+        with pytest.raises(ValueError):
+            EvaluationService(queue_limit=0)
+
+
+class TestEndToEnd:
+    def test_submit_poll_result_report(self, harness):
+        server = harness(workers=1)
+        status, _headers, info = server.json(
+            "POST", "/v1/runs", body=scenario_body()
+        )
+        assert status == 202
+        assert info["coalesced"] is False and info["kind"] == "scenario"
+        job_id = info["id"]
+
+        final = server.wait_for_state(job_id)
+        assert final["state"] == "done"
+        assert final["progress"] == {
+            "done": 1, "total": 1, "cache_hits": 0, "cache_misses": 1,
+        }
+        assert final["links"]["result"] == f"/v1/results/{job_id}"
+
+        status, headers, payload = server.json("GET", f"/v1/results/{job_id}")
+        assert status == 200
+        assert payload["digest"] == job_id
+        assert payload["metrics"]["jobs"] == 40
+        assert headers["ETag"] == f'"{job_id}"'
+
+        status, headers, page = server.request("GET", f"/v1/reports/{job_id}")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        text = page.decode("utf-8")
+        assert "<!DOCTYPE html>" in text and job_id in text and "uniform" in text
+
+    def test_resubmission_after_completion_reuses_the_job(self, harness):
+        server = harness(workers=1)
+        _s, _h, first = server.json("POST", "/v1/runs", body=scenario_body())
+        server.wait_for_state(first["id"])
+        status, _h, second = server.json("POST", "/v1/runs", body=scenario_body())
+        assert status == 200
+        assert second["id"] == first["id"] and second["coalesced"] is True
+        assert server.server.service.stats["executed"] == 1
+
+    def test_fresh_daemon_serves_store_hits_without_rerunning(self, harness):
+        # Two daemons sharing one store directory: the second one's job
+        # resolves entirely from cache (what the CI smoke job asserts).
+        first = harness(workers=1)
+        _s, _h, info = first.json("POST", "/v1/runs", body=scenario_body())
+        final = first.wait_for_state(info["id"])
+        assert final["progress"]["cache_misses"] == 1
+        first.stop()
+
+        second = harness(workers=1)
+        _s, _h, info2 = second.json("POST", "/v1/runs", body=scenario_body())
+        assert info2["id"] == info["id"]
+        final2 = second.wait_for_state(info2["id"])
+        assert final2["progress"] == {
+            "done": 1, "total": 1, "cache_hits": 1, "cache_misses": 0,
+        }
+
+    def test_etag_304_round_trip(self, harness):
+        server = harness(workers=1)
+        _s, _h, info = server.json("POST", "/v1/runs", body=scenario_body())
+        server.wait_for_state(info["id"])
+        job_id = info["id"]
+
+        status, headers, body = server.request("GET", f"/v1/results/{job_id}")
+        etag = headers["ETag"]
+        assert status == 200 and etag == f'"{job_id}"' and body
+
+        for conditional in (etag, f'"zzz", {etag}', "*"):
+            status, headers, body = server.request(
+                "GET", f"/v1/results/{job_id}",
+                headers={"If-None-Match": conditional},
+            )
+            assert status == 304 and body == b""
+            assert headers["ETag"] == etag
+
+        status, _headers, body = server.request(
+            "GET", f"/v1/results/{job_id}", headers={"If-None-Match": '"other"'}
+        )
+        assert status == 200 and body
+
+        # The HTML report is equally digest-keyed.
+        status, _headers, _body = server.request(
+            "GET", f"/v1/reports/{job_id}", headers={"If-None-Match": etag}
+        )
+        assert status == 304
+
+
+class TestCoalescing:
+    def test_concurrent_identical_submissions_share_one_run(
+        self, harness, monkeypatch
+    ):
+        gate = threading.Event()
+        calls = []
+
+        def slow_run_suite(suite, workers=None, store=None, use_cache=True,
+                           progress=None, **_kwargs):
+            calls.append(suite.name)
+            assert gate.wait(30)
+            return fake_suite_result()
+
+        monkeypatch.setattr("repro.serve.service.run_suite", slow_run_suite)
+        server = harness(workers=2)
+        body = json.dumps({"suite": "smoke"})
+
+        status1, _h, first = server.json("POST", "/v1/runs", body=body)
+        server.wait_for_state(first["id"], states=("running",))
+        status2, _h, second = server.json("POST", "/v1/runs", body=body)
+
+        assert status1 == 202 and status2 == 200
+        assert first["id"] == second["id"]
+        assert second["coalesced"] is True and second["state"] == "running"
+
+        gate.set()
+        final = server.wait_for_state(first["id"])
+        assert final["state"] == "done"
+        # Exactly one underlying evaluation ran for the two submissions.
+        assert calls == ["smoke"]
+        assert server.server.service.stats["coalesced"] == 1
+
+        status, _headers, payload = server.json(
+            "GET", f"/v1/results/{first['id']}"
+        )
+        assert status == 200 and payload["suite"] == "smoke"
+
+
+class TestBackpressure:
+    def test_queue_limit_returns_429_with_retry_after(self, harness, monkeypatch):
+        gate = threading.Event()
+
+        def slow_run_suite(suite, **_kwargs):
+            assert gate.wait(30)
+            return fake_suite_result()
+
+        monkeypatch.setattr("repro.serve.service.run_suite", slow_run_suite)
+        server = harness(workers=1, queue_limit=1)
+
+        # Occupy the single worker, then the single queue slot.
+        _s, _h, blocker = server.json(
+            "POST", "/v1/runs", body=json.dumps({"suite": "smoke"})
+        )
+        server.wait_for_state(blocker["id"], states=("running",))
+        status_queued, _h, queued = server.json(
+            "POST", "/v1/runs", body=scenario_body(seed=1)
+        )
+        assert status_queued == 202 and queued["state"] == "queued"
+
+        status, headers, rejected = server.json(
+            "POST", "/v1/runs", body=scenario_body(seed=2)
+        )
+        assert status == 429
+        assert "Retry-After" in headers and int(headers["Retry-After"]) >= 1
+        assert "queue is full" in rejected["error"]
+        assert server.server.service.stats["rejected"] == 1
+
+        # Identical resubmissions coalesce even under backpressure.
+        status, _headers, again = server.json(
+            "POST", "/v1/runs", body=scenario_body(seed=1)
+        )
+        assert status == 200 and again["id"] == queued["id"]
+
+        gate.set()
+        assert server.wait_for_state(blocker["id"])["state"] == "done"
+        assert server.wait_for_state(queued["id"])["state"] == "done"
+
+    def test_draining_service_rejects_with_503(self, harness):
+        server = harness(workers=1)
+        server.server.service.draining = True
+        status, _headers, info = server.json(
+            "POST", "/v1/runs", body=scenario_body()
+        )
+        assert status == 503 and "draining" in info["error"]
+
+
+class TestGracefulShutdown:
+    def test_drain_finishes_in_flight_work(self, harness, monkeypatch):
+        gate = threading.Event()
+
+        def slow_run_suite(suite, **_kwargs):
+            assert gate.wait(30)
+            return fake_suite_result()
+
+        monkeypatch.setattr("repro.serve.service.run_suite", slow_run_suite)
+        server = harness(workers=1)
+        _s, _h, info = server.json(
+            "POST", "/v1/runs", body=json.dumps({"suite": "smoke"})
+        )
+        server.wait_for_state(info["id"], states=("running",))
+
+        stopper = threading.Thread(target=server.stop)
+        stopper.start()
+        time.sleep(0.2)
+        assert stopper.is_alive(), "stop() must wait for the in-flight run"
+        gate.set()
+        stopper.join(60)
+        assert not stopper.is_alive()
+
+        # The drained daemon completed the job and kept its payload.
+        service = server.server.service
+        job = service.jobs[info["id"]]
+        assert job.state == "done"
+        assert info["id"] in service.results
+
+
+class TestErrorsAndIntrospection:
+    def test_malformed_and_unknown_requests(self, harness):
+        server = harness(workers=1)
+        assert server.request("POST", "/v1/runs", body="{nope")[0] == 400
+        assert server.request("POST", "/v1/runs", body="")[0] == 400
+        status, _h, info = server.json(
+            "POST", "/v1/runs", body=json.dumps({"suite": "smokey"})
+        )
+        assert status == 400 and "smoke" in info["error"]  # did-you-mean
+        assert server.request("GET", "/v1/runs/" + "0" * 64)[0] == 404
+        assert server.request("GET", "/v1/results/" + "0" * 64)[0] == 404
+        assert server.request("GET", "/v1/nope")[0] == 404
+        assert server.request("DELETE", "/v1/runs")[0] == 404
+
+    def test_result_of_unfinished_job_is_404_with_state(
+        self, harness, monkeypatch
+    ):
+        gate = threading.Event()
+
+        def slow_run_suite(suite, **_kwargs):
+            assert gate.wait(30)
+            return fake_suite_result()
+
+        monkeypatch.setattr("repro.serve.service.run_suite", slow_run_suite)
+        server = harness(workers=1)
+        _s, _h, info = server.json(
+            "POST", "/v1/runs", body=json.dumps({"suite": "smoke"})
+        )
+        status, _headers, body = server.json("GET", f"/v1/results/{info['id']}")
+        assert status == 404 and body["state"] in ("queued", "running")
+        gate.set()
+        server.wait_for_state(info["id"])
+
+    def test_failed_job_reports_its_error(self, harness, monkeypatch):
+        def broken_run_suite(suite, **_kwargs):
+            raise RuntimeError("simulator exploded")
+
+        monkeypatch.setattr("repro.serve.service.run_suite", broken_run_suite)
+        server = harness(workers=1)
+        _s, _h, info = server.json(
+            "POST", "/v1/runs", body=json.dumps({"suite": "smoke"})
+        )
+        final = server.wait_for_state(info["id"])
+        assert final["state"] == "failed"
+        assert "simulator exploded" in final["error"]
+        assert server.request("GET", f"/v1/results/{info['id']}")[0] == 404
+
+    def test_healthz_and_run_listing(self, harness):
+        server = harness(workers=1)
+        status, _headers, health = server.json("GET", "/v1/healthz")
+        assert status == 200 and health["status"] == "ok"
+        assert health["queue_limit"] == 8 and health["workers"] == 1
+
+        _s, _h, info = server.json("POST", "/v1/runs", body=scenario_body())
+        server.wait_for_state(info["id"])
+        status, _headers, listing = server.json("GET", "/v1/runs")
+        assert status == 200
+        assert [job["id"] for job in listing["jobs"]] == [info["id"]]

@@ -257,3 +257,87 @@ class TestTraceCommands:
         assert main(["trace", "build", str(trace_path), "--seed", "9"]) == 2
         assert "do not apply" in capsys.readouterr().err
         assert main(["trace", "info", str(trace_path)]) == 0
+
+
+class TestGCCommands:
+    def _seed_store(self, tmp_path):
+        from repro.api import Scenario, run
+        from repro.bench.store import ResultStore, StoredResult, result_key
+
+        store = ResultStore(tmp_path / "store")
+        scenario = Scenario(workload="uniform", jobs=20, machine_size=16,
+                            load=0.5, seed=1)
+        key = result_key(scenario)
+        store.put(StoredResult(key=key, scenario=scenario,
+                               report=run(scenario).report, extra={}))
+        return store, key
+
+    def test_bench_gc_keeps_fresh_entries(self, tmp_path, capsys):
+        store, key = self._seed_store(tmp_path)
+        assert main(["bench", "gc", "--store", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "kept 1" in out and "removed 0" in out
+        assert key in store
+
+    def test_bench_gc_evicts_stale_and_respects_dry_run(self, tmp_path, capsys):
+        store, key = self._seed_store(tmp_path)
+        path = store.path_for(key)
+        record = json.loads(path.read_text())
+        record["code"] = "repro-0.0+store-v0"
+        path.write_text(json.dumps(record))
+
+        assert main(["bench", "gc", "--store", str(store.root),
+                     "--dry-run"]) == 0
+        assert "would remove 1 (1 stale)" in capsys.readouterr().out
+        assert key in store
+
+        assert main(["bench", "gc", "--store", str(store.root)]) == 0
+        assert "removed 1 (1 stale)" in capsys.readouterr().out
+        assert key not in store
+
+        assert main(["bench", "gc", "--store", str(store.root),
+                     "--max-age-days", "30"]) == 0
+        assert "scanned 0" in capsys.readouterr().out
+
+    def test_trace_gc_round_trip(self, tmp_path, monkeypatch, capsys):
+        cache_root = tmp_path / "trace-cache"
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(cache_root))
+        assert main(["trace", "build", "ctc-sp2,jobs=40,seed=2"]) == 0
+        capsys.readouterr()
+
+        assert main(["trace", "gc"]) == 0
+        assert "kept 1" in capsys.readouterr().out
+
+        # Break the sidecar: gc treats the artifact as corrupt and evicts it.
+        sidecar = next(cache_root.glob("*/*.json"))
+        sidecar.unlink()
+        assert main(["trace", "gc", "--cache", str(cache_root)]) == 0
+        assert "removed 1 (1 corrupt)" in capsys.readouterr().out
+        assert not list(cache_root.glob("*/*.swf"))
+
+
+class TestServeCommand:
+    def test_parser_defaults_and_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 8765)
+        assert (args.workers, args.queue_limit) == (2, 8)
+        assert args.run_workers is None and args.store is None
+        assert args.no_cache is False
+
+        args = parser.parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0", "--workers", "4",
+             "--queue-limit", "2", "--run-workers", "3",
+             "--store", "/tmp/s", "--no-cache"]
+        )
+        assert (args.host, args.port, args.workers) == ("0.0.0.0", 0, 4)
+        assert (args.queue_limit, args.run_workers) == (2, 3)
+        assert args.store == "/tmp/s" and args.no_cache is True
+
+    def test_unbindable_host_exits_nonzero(self, tmp_path, capsys):
+        # 192.0.2.1 (TEST-NET-1) is never a local interface, so the bind
+        # fails immediately — no DNS lookup involved.
+        code = main(["serve", "--host", "192.0.2.1", "--port", "0",
+                     "--store", str(tmp_path / "store")])
+        assert code == 2
+        assert capsys.readouterr().err.strip()

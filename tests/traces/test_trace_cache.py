@@ -70,3 +70,69 @@ class TestMaterialization:
         meta = json.loads(cache.meta_path_for(trace.digest).read_text())
         assert meta["spec"] == trace.spec
         assert meta["digest"] == trace.digest
+
+
+class TestTraceCacheGC:
+    def _materialize(self, cache, spec=SPEC):
+        trace = trace_from_spec(spec)
+        trace.materialize(cache=cache)
+        return trace
+
+    def test_fresh_entries_are_kept(self, cache):
+        trace = self._materialize(cache)
+        stats = cache.gc()
+        assert (stats.scanned, stats.kept) == (1, 1)
+        assert not stats.removed and trace.digest in cache
+
+    def test_missing_root_is_empty_stats(self, tmp_path):
+        stats = TraceCache(tmp_path / "never-created").gc()
+        assert stats.scanned == 0 and not stats.removed
+
+    def test_stale_format_is_evicted(self, cache):
+        import json
+
+        trace = self._materialize(cache)
+        meta_path = cache.meta_path_for(trace.digest)
+        meta = json.loads(meta_path.read_text())
+        meta["format"] = "trace-v0"
+        meta_path.write_text(json.dumps(meta))
+
+        stats = cache.gc()
+        assert stats.removed == {trace.digest: "stale"}
+        assert trace.digest not in cache
+        assert not meta_path.exists()  # the sidecar goes with the SWF
+
+    def test_missing_sidecar_counts_as_corrupt(self, cache):
+        trace = self._materialize(cache)
+        cache.meta_path_for(trace.digest).unlink()
+        stats = cache.gc()
+        assert stats.removed == {trace.digest: "corrupt"}
+        assert trace.digest not in cache
+
+    def test_age_eviction_uses_swf_mtime(self, cache):
+        import os
+        import time
+
+        old = self._materialize(cache)
+        young = self._materialize(
+            cache, "trace:ctc-sp2,jobs=60,seed=5,load=0.9"
+        )
+        week_ago = time.time() - 7 * 86400
+        os.utime(cache.path_for(old.digest), (week_ago, week_ago))
+
+        stats = cache.gc(max_age_days=3)
+        assert stats.removed == {old.digest: "expired"}
+        assert old.digest not in cache and young.digest in cache
+
+    def test_dry_run_reports_without_deleting(self, cache):
+        trace = self._materialize(cache)
+        cache.meta_path_for(trace.digest).unlink()
+        stats = cache.gc(dry_run=True)
+        assert stats.dry_run and stats.removed == {trace.digest: "corrupt"}
+        assert trace.digest in cache
+
+    def test_keep_stale_skips_format_and_corrupt_checks(self, cache):
+        trace = self._materialize(cache)
+        cache.meta_path_for(trace.digest).unlink()
+        stats = cache.gc(drop_stale=False)
+        assert not stats.removed and trace.digest in cache
