@@ -27,7 +27,8 @@ results job-for-job.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.api.registry import (
@@ -64,6 +65,11 @@ class ScenarioResult:
     report: MetricsReport
     #: full :class:`repro.grid.simulation.GridResult` for grid-mode policies
     grid: Optional[Any] = None
+    #: wall-clock phase breakdown of this run (``materialize_seconds``,
+    #: ``simulate_seconds``, ``metrics_seconds``).  Non-deterministic by
+    #: nature, so it rides here — never inside :attr:`report`, whose content
+    #: feeds the content-addressed result store.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def scheduler(self) -> str:
@@ -254,7 +260,11 @@ def run(
     if mode == "grid":
         return _run_grid(scenario, policy, workload)
 
+    timings: Dict[str, float] = {}
+    phase_started = time.perf_counter()
     materialized = _materialize(scenario, workload)
+    timings["materialize_seconds"] = time.perf_counter() - phase_started
+    phase_started = time.perf_counter()
     if mode == "gang":
         result = simulate_gang(
             materialized,
@@ -279,11 +289,16 @@ def run(
         )
     else:
         raise ValueError(f"policy {scenario.policy!r} declares unknown mode {mode!r}")
+    timings["simulate_seconds"] = time.perf_counter() - phase_started
 
+    phase_started = time.perf_counter()
+    report = compute_metrics(result, tau=scenario.tau)
+    timings["metrics_seconds"] = time.perf_counter() - phase_started
     return ScenarioResult(
         scenario=scenario,
         result=result,
-        report=compute_metrics(result, tau=scenario.tau),
+        report=report,
+        timings=timings,
     )
 
 
@@ -304,6 +319,8 @@ def _run_grid(
     from repro.grid.site import Site
     from repro.grid.workload import generate_meta_jobs
 
+    timings: Dict[str, float] = {}
+    phase_started = time.perf_counter()
     meta_classes = {
         "least-loaded": LeastLoadedMetaScheduler,
         "earliest-start": EarliestStartMetaScheduler,
@@ -352,7 +369,10 @@ def _run_grid(
             "profile": ProfilePredictor,
         },
     )
+    timings["materialize_seconds"] = time.perf_counter() - phase_started
+    phase_started = time.perf_counter()
     grid_result = simulation.run()
+    timings["simulate_seconds"] = time.perf_counter() - phase_started
 
     merged_jobs = sorted(
         (job for site in grid_result.site_results.values() for job in site.jobs),
@@ -370,11 +390,15 @@ def _run_grid(
             "wasted_node_seconds": grid_result.total_wasted_node_seconds(),
         },
     )
+    phase_started = time.perf_counter()
+    report = compute_metrics(result, tau=scenario.tau)
+    timings["metrics_seconds"] = time.perf_counter() - phase_started
     return ScenarioResult(
         scenario=scenario,
         result=result,
-        report=compute_metrics(result, tau=scenario.tau),
+        report=report,
         grid=grid_result,
+        timings=timings,
     )
 
 

@@ -21,6 +21,7 @@ from repro.bench.suite import DEFAULT_METRICS
 __all__ = [
     "suite_markdown",
     "suite_json",
+    "timings_markdown",
     "comparison_markdown",
     "comparison_json",
     "report_from_store",
@@ -43,20 +44,45 @@ def _markdown_table(rows: List[Dict[str, object]]) -> str:
 # ----------------------------------------------------------------------
 # suite runs
 # ----------------------------------------------------------------------
+def _served_line(cache_hits: int, cache_misses: int, elapsed_seconds: float) -> str:
+    """Human explanation of where the results came from.
+
+    A fully cache-served run finishes in milliseconds; saying so explicitly
+    is what keeps a near-zero ``elapsed_seconds`` from reading like a bug.
+    """
+    if cache_misses == 0:
+        return (
+            f"served entirely from cache ({cache_hits} hits, 0 simulated) — "
+            f"elapsed {elapsed_seconds:.2f}s covers lookups only, no simulation ran"
+        )
+    return f"{cache_hits} cache hits, {cache_misses} simulated in {elapsed_seconds:.2f}s"
+
+
 def suite_markdown(result: SuiteRunResult) -> str:
     """The per-suite report: one row per case, ``mean ± CI`` per metric."""
     parts = [
         f"# Benchmark suite `{result.suite}`",
         "",
-        f"{len(result.replications)} replications "
-        f"({result.cache_hits} cache hits, {result.cache_misses} simulated), "
-        f"{result.elapsed_seconds:.2f}s; intervals at {result.confidence:.0%} "
+        f"{len(result.replications)} replications — "
+        f"{_served_line(result.cache_hits, result.cache_misses, result.elapsed_seconds)}; "
+        f"intervals at {result.confidence:.0%} "
         f"confidence (Student-t; percentile bootstrap for [0, 1]-bounded metrics).",
         "",
         _markdown_table(result.rows()),
         "",
     ]
+    if result.timings:
+        parts.extend([timings_markdown(result.timings), ""])
     return "\n".join(parts)
+
+
+def timings_markdown(timings: Dict[str, float]) -> str:
+    """The wall-clock phase breakdown as a two-column markdown table."""
+    rows = [
+        {"phase": phase.replace("_seconds", ""), "seconds": f"{value:.3f}"}
+        for phase, value in timings.items()
+    ]
+    return "\n".join(["## Timing breakdown", "", _markdown_table(rows)])
 
 
 def suite_json(result: SuiteRunResult) -> Dict[str, Any]:
@@ -69,6 +95,10 @@ def suite_json(result: SuiteRunResult) -> Dict[str, Any]:
         "cache_hits": result.cache_hits,
         "cache_misses": result.cache_misses,
         "elapsed_seconds": result.elapsed_seconds,
+        "served": _served_line(
+            result.cache_hits, result.cache_misses, result.elapsed_seconds
+        ),
+        "timings": dict(result.timings),
         "cases": [
             {
                 "case": agg.case,
@@ -134,6 +164,9 @@ def comparison_json(result: ComparisonResult) -> Dict[str, Any]:
         "cache_hits": result.cache_hits,
         "cache_misses": result.cache_misses,
         "elapsed_seconds": result.elapsed_seconds,
+        "served": _served_line(
+            result.cache_hits, result.cache_misses, result.elapsed_seconds
+        ),
         "cases": [
             {
                 "context": case.context,
@@ -164,6 +197,7 @@ def report_from_store(
     suite: Optional[str] = None,
     metrics: Iterable[str] = DEFAULT_METRICS,
     confidence: float = 0.95,
+    timings: bool = False,
 ) -> str:
     """Markdown digest of everything the store holds, grouped by suite/case.
 
@@ -173,6 +207,10 @@ def report_from_store(
     *family* (scenario identity minus the seed), never by label alone —
     pooling two generations of a renamed or re-parameterized case into one
     mean ± CI would be statistically meaningless.
+
+    ``timings=True`` adds a wall-clock column: the mean per-replication
+    simulation cost recorded when each entry was produced (``repro bench
+    report --timings``) — the checked-in perf trajectory reads this.
     """
     metrics = list(metrics)
     current = code_version()
@@ -208,6 +246,9 @@ def report_from_store(
                 for metric in metrics:
                     ci = metric_ci(metric, [r.value(metric) for r in reports], confidence)
                     row[metric] = f"{ci.mean:.4g} ± {ci.half_width:.3g}"
+                if timings:
+                    mean_elapsed = sum(e.elapsed_seconds for e in entries) / len(entries)
+                    row["run seconds"] = f"{mean_elapsed:.3f}"
                 rows.append(row)
         parts.extend([f"## `{suite_name}`", "", _markdown_table(rows), ""])
     return "\n".join(parts)

@@ -61,6 +61,13 @@ def mean_report(reports: Sequence[MetricsReport]) -> MetricsReport:
         column = [getattr(r, f.name) for r in reports]
         if f.name in ("scheduler",):
             values[f.name] = column[0]
+        elif f.name == "counters":
+            # Key-wise mean over the per-run counter dicts; replications of
+            # one case share a key set, but a missing key reads as 0.
+            keys = sorted({k for c in column for k in c})
+            values[f.name] = {
+                k: sum(c.get(k, 0) for c in column) / len(column) for k in keys
+            }
         elif f.name in ("jobs", "killed"):
             values[f.name] = int(round(sum(column) / len(column)))
         else:
@@ -103,6 +110,9 @@ class SuiteRunResult:
     cache_hits: int
     cache_misses: int
     elapsed_seconds: float
+    #: wall-clock phase breakdown of this run: cache consultation, workload
+    #: materialization, simulation, metrics, and store writes (seconds).
+    timings: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def by_case(self) -> Dict[str, List[ReplicationOutcome]]:
         """Replications grouped by case name, in suite order."""
@@ -157,8 +167,10 @@ class SuiteRunResult:
         ]
 
     def summary(self) -> str:
-        served = "all from cache" if self.cache_misses == 0 else (
-            f"{self.cache_hits} from cache, {self.cache_misses} simulated"
+        served = (
+            f"all {self.cache_hits} from cache, no simulation ran"
+            if self.cache_misses == 0
+            else f"{self.cache_hits} from cache, {self.cache_misses} simulated"
         )
         return (
             f"suite {self.suite!r}: {len(self.replications)} replications "
@@ -257,6 +269,13 @@ def run_suite(
     """
     suite = _resolve_suite(suite)
     started = time.perf_counter()
+    timings: Dict[str, float] = {
+        "cache_lookup_seconds": 0.0,
+        "materialize_seconds": 0.0,
+        "simulate_seconds": 0.0,
+        "metrics_seconds": 0.0,
+        "store_write_seconds": 0.0,
+    }
     entries = _expand(suite)
 
     # A key can appear twice when cases overlap; it is one work unit.
@@ -268,6 +287,7 @@ def run_suite(
 
     reports: Dict[str, MetricsReport] = {}
     if store is not None and use_cache:
+        lookup_started = time.perf_counter()
         for key in unique:
             hit = store.get(key)
             if hit is not None:
@@ -275,6 +295,7 @@ def run_suite(
                 done += 1
                 if progress is not None:
                     progress(done, total, True)
+        timings["cache_lookup_seconds"] = time.perf_counter() - lookup_started
 
     unique_misses: Dict[str, tuple] = {
         key: entry for key, entry in unique.items() if key not in reports
@@ -287,7 +308,11 @@ def run_suite(
             case, seed, scenario, extra, key = ordered[index]
             reports[key] = scenario_result.report
             done += 1
+            run_timings = scenario_result.timings
+            for phase in ("materialize_seconds", "simulate_seconds", "metrics_seconds"):
+                timings[phase] += run_timings.get(phase, 0.0)
             if store is not None:
+                write_started = time.perf_counter()
                 store.put(
                     StoredResult(
                         key=key,
@@ -296,10 +321,12 @@ def run_suite(
                         extra=extra,
                         suite=suite.name,
                         case=case.name,
-                        elapsed_seconds=(time.perf_counter() - started)
-                        / max(1, done - (total - len(ordered))),
+                        # This run's own wall-clock cost (the worker-side
+                        # phase breakdown), not an average over the batch.
+                        elapsed_seconds=sum(run_timings.values()),
                     )
                 )
+                timings["store_write_seconds"] += time.perf_counter() - write_started
             if progress is not None:
                 progress(done, total, False)
 
@@ -330,6 +357,13 @@ def run_suite(
                 cached=not freshly_simulated,
             )
         )
+    elapsed = time.perf_counter() - started
+    timings["total_seconds"] = elapsed
+    # Worker-side phase totals can exceed the wall clock under --workers N
+    # (they sum across processes); "other" is the unaccounted parent-side
+    # remainder, clamped at zero in that case.
+    accounted = sum(v for k, v in timings.items() if k != "total_seconds")
+    timings["other_seconds"] = max(0.0, elapsed - accounted)
     return SuiteRunResult(
         suite=suite.name,
         metrics=suite.metrics,
@@ -337,7 +371,8 @@ def run_suite(
         replications=outcomes,
         cache_hits=len(entries) - len(unique_misses),
         cache_misses=len(unique_misses),
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=elapsed,
+        timings={k: round(v, 6) for k, v in timings.items()},
     )
 
 

@@ -75,7 +75,9 @@ class GCStats:
         )
 
 #: Cache-format / simulator-semantics version; bump to invalidate the store.
-STORE_VERSION = "v1"
+#: v2: MetricsReport gained the per-run ``counters`` dict — older entries
+#: lack it, and the strict ``from_json`` rightly refuses them.
+STORE_VERSION = "v2"
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_BENCH_STORE"

@@ -19,11 +19,14 @@ experiment — are all available from the shell::
     python -m repro.cli trace info ctc-sp2,load=1.2,slice=0:7d
     python -m repro.cli trace build ctc-sp2,load=1.2 --output week.swf
     python -m repro.cli bench run smoke --workers 2
+    python -m repro.cli bench run smoke --timings
     python -m repro.cli bench compare fcfs backfill --suite std-space
-    python -m repro.cli bench report
+    python -m repro.cli bench report --timings
     python -m repro.cli bench gc --max-age-days 30
     python -m repro.cli trace gc --dry-run
     python -m repro.cli serve --port 8765 --workers 2 --queue-limit 8
+    python -m repro.cli profile "sjf:strict=true" --jobs 2000
+    python -m repro.cli --log-level debug bench run smoke
 
 Policies and workload models are resolved through the registries in
 :mod:`repro.api` — every registered name is reachable, and spec strings
@@ -71,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Benchmarks and standards for the evaluation of parallel job schedulers",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="structured-log verbosity on stderr (default: $REPRO_LOG, "
+        "else info for serve and warning elsewhere)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -210,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     b_run = bench_sub.add_parser("run", help="run a registered suite with cached replications")
     b_run.add_argument("suite", help=f"suite name; registered: {', '.join(suite_names())}")
+    b_run.add_argument(
+        "--timings", action="store_true",
+        help="also print the wall-clock phase breakdown (cache lookup, "
+        "materialize, simulate, metrics, store writes)",
+    )
     _bench_common(b_run)
 
     b_compare = bench_sub.add_parser(
@@ -230,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b_report.add_argument("--confidence", type=float, default=0.95)
     b_report.add_argument("--markdown", dest="markdown_out", default=None, help="write the markdown report here")
+    b_report.add_argument(
+        "--timings", action="store_true",
+        help="add a wall-clock column (mean per-replication run seconds)",
+    )
 
     b_gc = bench_sub.add_parser(
         "gc", help="evict result-store entries by age and stale code version"
@@ -273,6 +292,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="ignore cached results (fresh runs still refresh the store)",
     )
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="cProfile a suite or a single scenario and print the hotspot table",
+    )
+    p_profile.add_argument(
+        "target",
+        help="a registered suite name, or a policy spec (e.g. sjf:strict=true) "
+        "to profile one scenario",
+    )
+    p_profile.add_argument(
+        "--workload", default="lublin99",
+        help="workload spec when profiling a policy spec (default: lublin99)",
+    )
+    p_profile.add_argument("--jobs", type=int, default=2000, help="jobs when generating from a model")
+    p_profile.add_argument("--machine-size", type=int, default=128)
+    p_profile.add_argument("--seed", type=int, default=1)
+    p_profile.add_argument("--top", type=int, default=25, help="hotspot rows to print")
 
     return parser
 
@@ -498,13 +535,23 @@ def _cmd_bench(args) -> int:
         report_from_store,
         suite_json,
         suite_markdown,
+        timings_markdown,
         to_json_text,
     )
     from repro.bench.runner import compare_policies, run_suite
     from repro.bench.store import ResultStore
     from repro.evaluation import format_table
+    from repro.obs.log import get_logger
 
+    log = get_logger("bench")
     store = ResultStore(args.store)
+
+    def _progress(done: int, total: int, cached: bool) -> None:
+        log.info(
+            "progress", done=done, total=total,
+            served="cache" if cached else "simulated",
+        )
+
     try:
         if args.bench_command == "run":
             result = run_suite(
@@ -513,9 +560,13 @@ def _cmd_bench(args) -> int:
                 store=store,
                 use_cache=not args.no_cache,
                 confidence=args.confidence,
+                progress=_progress,
             )
             print(format_table(result.rows()))
             print(result.summary() + f"; store: {store.root}")
+            if args.timings:
+                print()
+                print(timings_markdown(result.timings))
             _write_text(args.json_out, to_json_text(suite_json(result)))
             _write_text(args.markdown_out, suite_markdown(result))
         elif args.bench_command == "compare":
@@ -541,7 +592,10 @@ def _cmd_bench(args) -> int:
             print(f"bench store {store.root}: {stats.summary()}")
         else:  # report
             text = report_from_store(
-                store, suite=args.suite, confidence=args.confidence
+                store,
+                suite=args.suite,
+                confidence=args.confidence,
+                timings=args.timings,
             )
             print(text)
             _write_text(args.markdown_out, text)
@@ -569,6 +623,39 @@ def _cmd_serve(args) -> int:
     except (ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+
+
+def _cmd_profile(args) -> int:
+    from repro.bench.suite import suite_names
+    from repro.obs import hotspot_table, profile_call
+
+    try:
+        if args.target in suite_names():
+            from repro.bench.runner import run_suite
+
+            # No store: a cache-served suite profiles its lookups, not the
+            # simulation, which is never what the caller is after.
+            profiled = profile_call(
+                lambda: run_suite(args.target, store=None, use_cache=False),
+                top=args.top,
+            )
+            subject = f"suite {args.target!r}"
+        else:
+            scenario = Scenario(
+                workload=args.workload,
+                policy=args.target,
+                machine_size=args.machine_size,
+                jobs=args.jobs,
+                seed=args.seed,
+            )
+            profiled = profile_call(lambda: run(scenario), top=args.top)
+            subject = f"{args.target!r} on {scenario.label}"
+    except (RegistryError, ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"profile of {subject}:")
+    print(hotspot_table(profiled))
+    return 0
 
 
 def _cmd_experiment(args) -> int:
@@ -604,6 +691,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "profile": _cmd_profile,
 }
 
 
@@ -611,6 +699,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.obs.log import configure, resolve_level
+
+    # serve is the one long-running command where the access log is the
+    # point; everything else stays quiet unless asked (--log-level or
+    # $REPRO_LOG).
+    default_level = "info" if args.command == "serve" else "warning"
+    try:
+        configure(resolve_level(args.log_level, default=default_level))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     return _COMMANDS[args.command](args)
 
 

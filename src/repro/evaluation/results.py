@@ -84,6 +84,11 @@ class SimulationResult:
     #: number of job executions aborted by outages (including successful restarts)
     outage_kills: int = 0
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: deterministic per-run telemetry counters (events processed, scheduling
+    #: passes, backfill decisions, queue depth high-water marks).  Derived
+    #: only from simulated facts — never wall-clock time — so serial and
+    #: parallel runs of the same scenario report bit-identical values.
+    counters: Dict[str, int] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.jobs)

@@ -29,6 +29,7 @@ from repro.core.swf.fields import MISSING
 from repro.core.swf.workload import Workload
 from repro.evaluation.results import JobResult, SimulationResult
 from repro.machine.cluster import Machine
+from repro.obs.telemetry import Telemetry, telemetry_scope
 from repro.schedulers.base import JobRequest, RunningJobInfo, Scheduler, SchedulerState
 from repro.simulation.engine import Simulator
 
@@ -77,6 +78,10 @@ class MachineSimulation:
         self.max_restarts = max_restarts
 
         self.sim = Simulator()
+        #: per-run registry for deterministic scheduling counters; installed
+        #: as the contextvar scope during :meth:`run` so schedulers' module-
+        #: level ``count()`` calls land here.
+        self._telemetry = Telemetry()
         self._queue: List[JobRequest] = []
         self._running: Dict[int, _Running] = {}
         self._results: List[JobResult] = []
@@ -292,6 +297,8 @@ class MachineSimulation:
     def _schedule_pass(self) -> None:
         if not self._queue:
             return
+        self._telemetry.counter("sched_passes").inc()
+        self._telemetry.gauge("max_queue_depth").set_max(len(self._queue))
         state = self._state()
         selected = self.scheduler.select_jobs(state)
         if not selected:
@@ -317,6 +324,7 @@ class MachineSimulation:
         self._queue = [r for r in self._queue if r.job_id not in selected_ids]
 
     def _start_job(self, request: JobRequest) -> None:
+        self._telemetry.counter("jobs_started").inc()
         self.machine.allocate(request.job_id, request.processors, start_time=self.sim.now)
         handle = self.sim.schedule(
             request.runtime,
@@ -339,8 +347,12 @@ class MachineSimulation:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run the simulation to completion and return the results."""
-        self._seed_events()
-        self.sim.run()
+        with telemetry_scope(self._telemetry):
+            self._seed_events()
+            self.sim.run()
+        counters = self._telemetry.as_counters()
+        counters["events_processed"] = self.sim.processed_events
+        counters["peak_event_queue"] = self.sim.peak_queue
         result = SimulationResult(
             scheduler_name=self.scheduler.name,
             machine_size=self.machine.size,
@@ -351,6 +363,7 @@ class MachineSimulation:
                 "workload": self.workload.name,
                 "honor_dependencies": self.honor_dependencies,
             },
+            counters={k: int(v) for k, v in sorted(counters.items())},
         )
         if len(self.outages) > 0:
             from repro.core.outage.availability import AvailabilityTimeline

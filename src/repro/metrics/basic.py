@@ -15,7 +15,7 @@ capacity, not by nominal capacity.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -55,6 +55,11 @@ class MetricsReport:
     makespan: float
     total_area: float
     tau: float = DEFAULT_TAU
+    #: deterministic per-run scheduler/engine counters (events processed,
+    #: scheduling passes, shadow scans, jobs backfilled, queue depth peaks).
+    #: Derived from simulated facts only, so they are bit-identical between
+    #: serial and parallel runs and safe to persist in the result store.
+    counters: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
         """Rounded *display* view used when printing experiment tables.
@@ -102,7 +107,14 @@ class MetricsReport:
         return cls(**dict(data))
 
     def value(self, metric: str) -> float:
-        """Look up a metric by name (the names used by objective functions)."""
+        """Look up a metric by name (the names used by objective functions).
+
+        ``counters.<name>`` reaches into the per-run counter dict, so
+        objective configs and sweeps can select telemetry the same way they
+        select performance metrics (missing counters read as 0).
+        """
+        if metric.startswith("counters."):
+            return float(self.counters.get(metric[len("counters."):], 0))
         try:
             return float(getattr(self, metric))
         except AttributeError as exc:
@@ -156,6 +168,7 @@ def compute_metrics(result: SimulationResult, tau: float = DEFAULT_TAU) -> Metri
         makespan=makespan,
         total_area=total_area,
         tau=tau,
+        counters={k: int(v) for k, v in sorted(result.counters.items())},
     )
 
 

@@ -1,0 +1,54 @@
+"""repro.obs — zero-dependency observability: metrics, logs, profiles.
+
+Three small modules, one purpose — make every layer of the pipeline
+measurable without adding a dependency:
+
+* :mod:`repro.obs.telemetry` — counters / gauges / fixed-bucket histograms
+  behind a contextvar-scoped :class:`Telemetry` registry, with ``span()``
+  timers and no-op-safe module helpers for deep call sites (schedulers).
+* :mod:`repro.obs.prometheus` — text exposition (format 0.0.4) for the
+  serve daemon's ``GET /v1/metrics``.
+* :mod:`repro.obs.log` — structured ``key=value`` logging behind
+  ``repro --log-level`` / ``REPRO_LOG``.
+* :mod:`repro.obs.profile` — cProfile hotspot tables for ``repro profile``.
+"""
+
+from .log import configure as configure_logging, get_logger, resolve_level
+from .profile import Hotspot, ProfileRun, hotspot_table, profile_call
+from .prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE, render as render_prometheus
+from .telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    Telemetry,
+    TelemetryError,
+    count,
+    current_telemetry,
+    gauge_max,
+    span,
+    telemetry_scope,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+    "Telemetry",
+    "TelemetryError",
+    "count",
+    "current_telemetry",
+    "gauge_max",
+    "span",
+    "telemetry_scope",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "configure_logging",
+    "get_logger",
+    "resolve_level",
+    "Hotspot",
+    "ProfileRun",
+    "hotspot_table",
+    "profile_call",
+]

@@ -1,0 +1,122 @@
+"""Structured logging for the repro toolchain.
+
+One ``repro`` logger hierarchy, one line-oriented ``key=value`` format,
+one switch: ``repro --log-level debug`` (or the ``REPRO_LOG`` environment
+variable; the flag wins).  Long-running commands (``repro serve``) default
+to ``info`` so access logs appear; one-shot commands default to ``warning``
+so pipeline output stays clean.
+
+Usage::
+
+    from repro.obs.log import get_logger
+    log = get_logger("serve")
+    log.info("request", method="GET", target="/v1/healthz", status=200)
+
+Keyword arguments become ``key=value`` pairs appended to the message —
+values containing spaces are quoted so lines stay machine-splittable.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+import time
+from typing import Optional
+
+__all__ = ["configure", "get_logger", "resolve_level", "StructuredLoggerAdapter"]
+
+_ROOT_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+class _LineFormatter(logging.Formatter):
+    """``HH:MM:SS.mmm LEVEL logger message key=value ...`` — UTC, fixed width."""
+
+    converter = time.gmtime
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = self.formatTime(record, "%H:%M:%S")
+        line = (
+            f"{stamp}.{int(record.msecs):03d} "
+            f"{record.levelname.lower():<7} {record.name} {record.getMessage()}"
+        )
+        if record.exc_info:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+class StructuredLoggerAdapter(logging.LoggerAdapter):
+    """Appends keyword arguments to the message as ``key=value`` pairs."""
+
+    def log(self, level: int, msg: object, *args: object, **kwargs: object) -> None:
+        if not self.logger.isEnabledFor(level):
+            return
+        exc_info = kwargs.pop("exc_info", None)
+        if kwargs:
+            pairs = " ".join(f"{k}={_render_value(v)}" for k, v in kwargs.items())
+            msg = f"{msg} {pairs}" if msg else pairs
+        self.logger.log(level, msg, *args, exc_info=exc_info)  # type: ignore[arg-type]
+
+    def debug(self, msg: object = "", *args: object, **kwargs: object) -> None:
+        self.log(logging.DEBUG, msg, *args, **kwargs)
+
+    def info(self, msg: object = "", *args: object, **kwargs: object) -> None:
+        self.log(logging.INFO, msg, *args, **kwargs)
+
+    def warning(self, msg: object = "", *args: object, **kwargs: object) -> None:
+        self.log(logging.WARNING, msg, *args, **kwargs)
+
+    def error(self, msg: object = "", *args: object, **kwargs: object) -> None:
+        self.log(logging.ERROR, msg, *args, **kwargs)
+
+
+def _render_value(value: object) -> str:
+    if isinstance(value, float):
+        text = f"{value:.6f}".rstrip("0").rstrip(".")
+        return text or "0"
+    text = str(value)
+    if not text or any(c in text for c in ' "='):
+        return '"' + text.replace('"', '\\"') + '"'
+    return text
+
+
+def resolve_level(flag: Optional[str] = None, default: str = "warning") -> int:
+    """Pick the effective level: ``--log-level`` flag > ``REPRO_LOG`` > default."""
+    name = flag or os.environ.get("REPRO_LOG") or default
+    try:
+        return _LEVELS[name.strip().lower()]
+    except KeyError:
+        valid = ", ".join(sorted(_LEVELS))
+        raise ValueError(f"unknown log level {name!r} (expected one of: {valid})")
+
+
+def configure(level: int = logging.WARNING, stream=None) -> logging.Logger:
+    """Set up the ``repro`` logger hierarchy; idempotent and reconfigurable.
+
+    Logs go to stderr so stdout stays parseable (JSON output, metric
+    tables).  Calling again replaces the handler and level — the CLI calls
+    this once per invocation, tests call it with a capture stream.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(_LineFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str = "") -> StructuredLoggerAdapter:
+    """A structured logger under the ``repro`` hierarchy (e.g. ``repro.serve``)."""
+    full = f"{_ROOT_NAME}.{name}" if name else _ROOT_NAME
+    return StructuredLoggerAdapter(logging.getLogger(full), {})

@@ -1,0 +1,88 @@
+"""Prometheus text exposition (format 0.0.4) for a :class:`Telemetry` registry.
+
+Renders counters, gauges, and histograms the way a scraper expects them:
+``# HELP`` / ``# TYPE`` headers, escaped label values, cumulative
+``_bucket`` series with inclusive ``le`` upper bounds plus ``+Inf``, and
+``_sum`` / ``_count`` per histogram series.  Output is deterministic —
+families sort by name, series by label key — so tests can compare text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .telemetry import (
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    Telemetry,
+)
+
+__all__ = ["CONTENT_TYPE", "render"]
+
+#: The Content-Type a /metrics response must carry for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(pairs: Iterable[Tuple[str, str]]) -> str:
+    rendered = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return f"{{{rendered}}}" if rendered else ""
+
+
+def _bucket_labels(pairs: Iterable[Tuple[str, str]], upper: str) -> str:
+    # `le` participates in the label set like any other label.
+    return _format_labels(list(pairs) + [("le", upper)])
+
+
+def render(telemetry: Telemetry) -> str:
+    """The whole registry as Prometheus text, terminated by a newline."""
+    lines: List[str] = []
+    for family in telemetry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if isinstance(family, (CounterFamily, GaugeFamily)):
+            for key in family.label_keys():
+                labels = dict(key)
+                lines.append(
+                    f"{family.name}{_format_labels(key)} "
+                    f"{_format_value(family.value(**labels))}"
+                )
+        elif isinstance(family, HistogramFamily):
+            for key in family.label_keys():
+                labels = dict(key)
+                cumulative = family.bucket_counts(**labels)
+                for upper, count in zip(family.buckets, cumulative):
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_bucket_labels(key, _format_value(upper))} {count}"
+                    )
+                lines.append(
+                    f"{family.name}_bucket{_bucket_labels(key, '+Inf')} "
+                    f"{cumulative[-1]}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(key)} "
+                    f"{_format_value(family.sum_(**labels))}"
+                )
+                lines.append(
+                    f"{family.name}_count{_format_labels(key)} "
+                    f"{family.count_(**labels)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""

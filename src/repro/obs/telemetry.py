@@ -1,0 +1,334 @@
+"""Zero-dependency telemetry primitives: counters, gauges, histograms, spans.
+
+Every layer of the repository that wants to be *measured* — the simulation
+driver, the schedulers, the bench runner, the serve daemon — records into a
+:class:`Telemetry` registry.  Two properties drive the design:
+
+* **Determinism where it matters.**  Simulation-side metrics (events popped,
+  scheduling passes, shadow scans, backfilled jobs, queue depth) count
+  *simulated* facts, never wall-clock time, so a run's counters are
+  bit-identical between serial and parallel execution and can ride inside
+  the content-addressed result store.  Wall-clock spans are kept separate
+  (the bench runner's timing breakdown, the serve daemon's latencies).
+
+* **Context scoping instead of plumbing.**  Schedulers are called deep
+  inside the event loop through a stable API; rather than threading a
+  registry through every signature, the active :class:`Telemetry` is held
+  in a :mod:`contextvars` variable.  :func:`telemetry_scope` installs one
+  for the duration of a run, and the module-level helpers (:func:`count`,
+  :func:`gauge_max`, :func:`span`) are cheap no-ops when no scope is
+  active — unit tests calling a scheduler directly measure nothing and
+  pay (almost) nothing.
+
+The registry is intentionally small and stdlib-only; the Prometheus text
+rendering lives in :mod:`repro.obs.prometheus`.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+    "Telemetry",
+    "TelemetryError",
+    "current_telemetry",
+    "telemetry_scope",
+    "count",
+    "gauge_max",
+    "span",
+]
+
+#: Default histogram buckets (seconds) for request/phase latencies: the usual
+#: Prometheus client defaults extended to a minute, since evaluation jobs are
+#: slow compared to web requests.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: One labelled series inside a family: the sorted (name, value) label pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class TelemetryError(ValueError):
+    """Raised on metric misuse: kind clashes, bad buckets, negative counts."""
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    """Canonical, order-independent series key for a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Family:
+    """A named metric family holding one series per distinct label set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+
+    def label_keys(self) -> List[LabelKey]:
+        """Every series' label key, deterministically ordered."""
+        return sorted(self._series)  # type: ignore[attr-defined]
+
+
+class CounterFamily(_Family):
+    """A monotonically increasing count (per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._series: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise TelemetryError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(_label_key(labels), 0)
+
+
+class GaugeFamily(_Family):
+    """A value that can go up and down (per label set)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._series: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._series[_label_key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def set_max(self, value: float, **labels: object) -> None:
+        """High-water mark: keep the largest value ever seen."""
+        key = _label_key(labels)
+        if key not in self._series or value > self._series[key]:
+            self._series[key] = value
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(_label_key(labels), 0)
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, buckets: int) -> None:
+        self.counts = [0] * (buckets + 1)  # one extra for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+
+class HistogramFamily(_Family):
+    """Fixed-bucket distribution (per label set).
+
+    Buckets follow the Prometheus convention: each upper bound is
+    *inclusive* (an observation equal to a bucket edge lands in that
+    bucket), and an implicit ``+Inf`` bucket catches everything beyond the
+    largest edge.  Bucket counts are stored per bucket and cumulated only
+    at render time.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, buckets: Sequence[float], help_text: str = ""
+    ) -> None:
+        super().__init__(name, help_text)
+        uppers = [float(b) for b in buckets]
+        if not uppers:
+            raise TelemetryError(f"histogram {self.name!r} needs at least one bucket")
+        if any(b >= a for b, a in zip(uppers, uppers[1:])):
+            raise TelemetryError(
+                f"histogram {self.name!r} buckets must be strictly increasing"
+            )
+        self.buckets: Tuple[float, ...] = tuple(uppers)
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        # bisect_left finds the first upper bound >= value: the inclusive
+        # bucket.  A value beyond every edge lands at index len(buckets),
+        # the +Inf slot.
+        series.counts[bisect_left(self.buckets, value)] += 1
+        series.sum += value
+        series.count += 1
+
+    def bucket_counts(self, **labels: object) -> List[int]:
+        """Cumulative counts per bucket (ending with the +Inf total)."""
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return [0] * (len(self.buckets) + 1)
+        cumulative, total = [], 0
+        for n in series.counts:
+            total += n
+            cumulative.append(total)
+        return cumulative
+
+    def sum_(self, **labels: object) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.sum if series is not None else 0.0
+
+    def count_(self, **labels: object) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series is not None else 0
+
+
+class Telemetry:
+    """A registry of metric families, created lazily by name.
+
+    Asking twice for the same name returns the same family; asking for an
+    existing name with a different kind (or different histogram buckets) is
+    an error — silently forking a metric would corrupt both series.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def _get(self, name: str, kind: type, factory) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = factory()
+        elif not isinstance(family, kind):
+            raise TelemetryError(
+                f"metric {name!r} is a {family.kind}, not a {kind.kind}"  # type: ignore[attr-defined]
+            )
+        return family
+
+    def counter(self, name: str, help_text: str = "") -> CounterFamily:
+        return self._get(name, CounterFamily, lambda: CounterFamily(name, help_text))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "") -> GaugeFamily:
+        return self._get(name, GaugeFamily, lambda: GaugeFamily(name, help_text))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help_text: str = "",
+    ) -> HistogramFamily:
+        family = self._get(
+            name, HistogramFamily, lambda: HistogramFamily(name, buckets, help_text)
+        )
+        if tuple(float(b) for b in buckets) != family.buckets:  # type: ignore[attr-defined]
+            raise TelemetryError(
+                f"histogram {name!r} was registered with different buckets"
+            )
+        return family  # type: ignore[return-value]
+
+    def families(self) -> Iterator[_Family]:
+        """Families in deterministic (name) order."""
+        for name in sorted(self._families):
+            yield self._families[name]
+
+    @contextmanager
+    def span(self, name: str, **labels: object):
+        """Time a block into the ``<name>_seconds`` histogram.
+
+        The lightweight timer behind the bench runner's phase breakdown and
+        the serve daemon's request latencies; yields nothing and never
+        swallows exceptions (the failed span is still observed).
+        """
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(f"{name}_seconds").observe(
+                time.perf_counter() - started, **labels
+            )
+
+    def seconds(self, name: str, **labels: object) -> float:
+        """Total seconds recorded by :meth:`span` calls under ``name``."""
+        family = self._families.get(f"{name}_seconds")
+        if not isinstance(family, HistogramFamily):
+            return 0.0
+        return family.sum_(**labels)
+
+    def as_counters(self) -> Dict[str, float]:
+        """Unlabelled counter and gauge values as one flat dict.
+
+        Integral values come back as ``int`` so the dict serializes to the
+        same JSON text on every run — this is the snapshot the simulation
+        driver folds into :class:`~repro.metrics.basic.MetricsReport`.
+        """
+        snapshot: Dict[str, float] = {}
+        for family in self.families():
+            if isinstance(family, (CounterFamily, GaugeFamily)):
+                if () not in family._series:  # labelled-only family
+                    continue
+                value = family.value()
+                snapshot[family.name] = int(value) if value == int(value) else value
+        return snapshot
+
+
+# ----------------------------------------------------------------------
+# contextvar scoping
+# ----------------------------------------------------------------------
+_ACTIVE: ContextVar[Optional[Telemetry]] = ContextVar("repro_obs_telemetry", default=None)
+
+
+def current_telemetry() -> Optional[Telemetry]:
+    """The telemetry registry installed by the nearest :func:`telemetry_scope`."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def telemetry_scope(telemetry: Telemetry):
+    """Install ``telemetry`` as the active registry for the enclosed block.
+
+    Scopes nest: the previous registry is restored on exit.  Context
+    variables are per-thread and per-async-task, so concurrent runs (serve
+    workers, ``run_many`` processes) never share a scope by accident.
+    """
+    token = _ACTIVE.set(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE.reset(token)
+
+
+def count(name: str, amount: float = 1, **labels: object) -> None:
+    """Increment a counter on the active registry; no-op without a scope."""
+    telemetry = _ACTIVE.get()
+    if telemetry is not None:
+        telemetry.counter(name).inc(amount, **labels)
+
+
+def gauge_max(name: str, value: float, **labels: object) -> None:
+    """Raise a gauge high-water mark on the active registry; no-op without a scope."""
+    telemetry = _ACTIVE.get()
+    if telemetry is not None:
+        telemetry.gauge(name).set_max(value, **labels)
+
+
+@contextmanager
+def span(name: str, **labels: object):
+    """Time a block on the active registry; a plain pass-through without one."""
+    telemetry = _ACTIVE.get()
+    if telemetry is None:
+        yield
+        return
+    with telemetry.span(name, **labels):
+        yield

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.api.registry import register_scheduler
+from repro.obs.telemetry import count
 from repro.schedulers.base import (
     AvailabilityProfile,
     JobRequest,
@@ -80,6 +81,7 @@ class EasyBackfillScheduler(Scheduler):
             finishes_before_shadow = state.now + candidate.estimate <= shadow_time
             uses_only_extra = candidate.processors <= extra
             if finishes_before_shadow or uses_only_extra:
+                count("jobs_backfilled")
                 started.append(candidate)
                 free -= candidate.processors
                 if not finishes_before_shadow:
@@ -100,6 +102,7 @@ class EasyBackfillScheduler(Scheduler):
         for the head; the extra processors are those free at the shadow time
         beyond what the head needs.
         """
+        count("shadow_scans")
         releases = [(info.expected_end, info.processors) for info in state.running]
         releases += [(state.now + req.estimate, req.processors) for req in just_started]
         releases.sort()
@@ -132,6 +135,7 @@ class ConservativeBackfillScheduler(Scheduler):
         self.horizon = horizon
 
     def select_jobs(self, state: SchedulerState) -> List[JobRequest]:
+        count("profile_builds")
         profile = AvailabilityProfile.from_running(
             state.total_processors, state.now, state.running
         )
@@ -140,11 +144,16 @@ class ConservativeBackfillScheduler(Scheduler):
 
         started: List[JobRequest] = []
         free = state.free_processors
+        blocked = False  # has any earlier-queued job been held back?
         for request in state.queue:
             duration = max(request.estimate, 1)
             anchor = profile.earliest_start(request.processors, duration)
             profile.remove(anchor, anchor + duration, request.processors)
             if anchor <= state.now and self.job_fits_now(state, request, free):
+                if blocked:
+                    count("jobs_backfilled")
                 started.append(request)
                 free -= request.processors
+            else:
+                blocked = True
         return started

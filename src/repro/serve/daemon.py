@@ -19,14 +19,18 @@ from __future__ import annotations
 import asyncio
 import signal
 import sys
+import time
 from dataclasses import dataclass
 from http import HTTPStatus
 from typing import Optional, Tuple
 
 from repro.bench.store import ResultStore
+from repro.obs.log import get_logger
 from repro.serve.service import EvaluationService, Response
 
 __all__ = ["ServeConfig", "ReproServer", "serve"]
+
+log = get_logger("serve")
 
 #: Largest accepted request body (a Scenario or suite name; 1 MiB is ample).
 MAX_BODY_BYTES = 1 << 20
@@ -93,10 +97,19 @@ class ReproServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        started = time.perf_counter()
         try:
-            response = await self._read_and_route(reader)
+            response, method, target = await self._read_and_route(reader)
             if response is not None:
                 await self._write_response(writer, response)
+                log.info(
+                    "request",
+                    method=method or "-",
+                    target=target or "-",
+                    status=response.status,
+                    bytes=len(response.body),
+                    seconds=time.perf_counter() - started,
+                )
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-exchange; nothing to answer
         finally:
@@ -108,16 +121,21 @@ class ReproServer:
 
     async def _read_and_route(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Response]:
+    ) -> Tuple[Optional[Response], str, str]:
+        """Parse one request and route it; returns (response, method, target).
+
+        The method and target ride along (empty when parsing never got that
+        far) so the connection handler can write an access-log line.
+        """
         try:
             request_line = await asyncio.wait_for(reader.readline(), timeout=30)
         except asyncio.TimeoutError:
-            return None
+            return None, "", ""
         if not request_line:
-            return None
+            return None, "", ""
         parts = request_line.decode("latin-1").strip().split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/"):
-            return Response(400, b'{"error": "malformed request line"}\n')
+            return Response(400, b'{"error": "malformed request line"}\n'), "", ""
         method, target = parts[0].upper(), parts[1]
 
         headers = {}
@@ -132,11 +150,11 @@ class ReproServer:
         try:
             length = int(headers.get("content-length", "0"))
         except ValueError:
-            return Response(400, b'{"error": "bad Content-Length"}\n')
+            return Response(400, b'{"error": "bad Content-Length"}\n'), method, target
         if length < 0 or length > MAX_BODY_BYTES:
-            return Response(413, b'{"error": "request body too large"}\n')
+            return Response(413, b'{"error": "request body too large"}\n'), method, target
         body = await reader.readexactly(length) if length else b""
-        return self.service.handle_request(method, target, headers, body)
+        return self.service.handle_request(method, target, headers, body), method, target
 
     @staticmethod
     async def _write_response(
@@ -168,11 +186,16 @@ def serve(config: ServeConfig) -> int:
     async def _main() -> None:
         server = ReproServer(config)
         host, port = await server.start()
-        print(
-            f"repro serve listening on http://{host}:{port} "
-            f"(workers={config.workers}, queue-limit={config.queue_limit}, "
-            f"store={server.service.store.root})",
-            flush=True,
+        # The listening line goes to stdout too: scripts that boot the
+        # daemon in the background read the bound port from it.
+        print(f"repro serve listening on http://{host}:{port}", flush=True)
+        log.info(
+            "listening",
+            host=host,
+            port=port,
+            workers=config.workers,
+            queue_limit=config.queue_limit,
+            store=str(server.service.store.root),
         )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -184,9 +207,9 @@ def serve(config: ServeConfig) -> int:
         try:
             await stop.wait()
         finally:
-            print("repro serve: draining in-flight runs ...", flush=True)
+            log.info("draining")
             await server.stop()
-            print("repro serve: drained, bye", flush=True)
+            log.info("drained")
 
     try:
         asyncio.run(_main())

@@ -100,6 +100,7 @@ def _render_suite(payload: Dict[str, Any]) -> str:
             ("elapsed", f"{payload.get('elapsed_seconds', 0.0):.2f} s"),
             ("confidence", f"{payload.get('confidence', 0.0):.0%}"),
         ]
+        + ([("served", payload["served"])] if payload.get("served") else [])
     )
     columns = ["context", "policy", "seeds"] + metrics
     rows = []
@@ -116,7 +117,15 @@ def _render_suite(payload: Dict[str, Any]) -> str:
         "<p>Each cell is <em>mean ± half-width</em> over the case's "
         "replication seeds; hover for the interval bounds.</p>"
     )
-    return facts + note + _table(columns, rows)
+    body = facts + note + _table(columns, rows)
+    timings = payload.get("timings") or {}
+    if timings:
+        timing_rows = [
+            [f"<code>{_esc(phase.replace('_seconds', ''))}</code>", f"{value:.3f}"]
+            for phase, value in timings.items()
+        ]
+        body += "<h2>Timing breakdown</h2>" + _table(["phase", "seconds"], timing_rows)
+    return body
 
 
 def _render_scenario(payload: Dict[str, Any]) -> str:

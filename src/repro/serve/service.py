@@ -41,6 +41,9 @@ from repro.api.scenario import Scenario
 from repro.bench.runner import _expand, _trace_extra, run_suite
 from repro.bench.store import ResultStore, StoredResult, code_version, result_key
 from repro.bench.suite import BenchmarkSuite, get_suite
+from repro.obs.prometheus import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render as _render_prometheus
+from repro.obs.telemetry import Telemetry
 from repro.serve.html import render_report
 from repro.util import canonical_hash
 
@@ -241,11 +244,16 @@ class EvaluationService:
         self.use_cache = use_cache
         self.retry_after_seconds = retry_after_seconds
         self.draining = False
+        self.started_at = time.time()
         #: every admitted job, by digest (the coalescing map)
         self.jobs: Dict[str, Job] = {}
         #: finished report payloads, by digest (immutable once present)
         self.results: Dict[str, Dict[str, Any]] = {}
         self.stats = {"submitted": 0, "coalesced": 0, "rejected": 0, "executed": 0}
+        #: service-lifetime metrics registry behind ``GET /v1/metrics``.
+        #: Only ever touched from the event-loop thread (request routing and
+        #: post-await job accounting), so no locking is needed.
+        self.telemetry = Telemetry()
         self._queue: Optional[asyncio.Queue] = None
         self._worker_tasks: List[asyncio.Task] = []
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -338,6 +346,16 @@ class EvaluationService:
                 job.state = FAILED
             finally:
                 job.finished_at = time.time()
+                self.telemetry.counter(
+                    "repro_jobs_total", "Jobs finished, by kind and final state."
+                ).inc(kind=job.evaluation.kind, state=job.state)
+                self.telemetry.histogram(
+                    "repro_job_seconds",
+                    help_text="Wall-clock job execution latency (queue wait excluded).",
+                ).observe(
+                    job.finished_at - (job.started_at or job.finished_at),
+                    kind=job.evaluation.kind,
+                )
                 self._queue.task_done()
 
     def _execute(self, job: Job) -> Dict[str, Any]:
@@ -408,6 +426,23 @@ class EvaluationService:
     # ------------------------------------------------------------------
     # request routing
     # ------------------------------------------------------------------
+    @staticmethod
+    def _route_template(path: str) -> str:
+        """The bounded-cardinality route label for metrics.
+
+        Digests and job ids are collapsed into placeholders so the metric
+        label set stays finite no matter how many runs the daemon serves.
+        """
+        if path in ("/v1/healthz", "/v1/metrics", "/v1/runs"):
+            return path
+        if path.startswith("/v1/runs/"):
+            return "/v1/runs/{id}"
+        if path.startswith("/v1/results/"):
+            return "/v1/results/{digest}"
+        if path.startswith("/v1/reports/"):
+            return "/v1/reports/{digest}"
+        return "other"
+
     def handle_request(
         self,
         method: str,
@@ -415,11 +450,46 @@ class EvaluationService:
         headers: Optional[Dict[str, str]] = None,
         body: bytes = b"",
     ) -> Response:
-        """Map one request to a :class:`Response` (the whole HTTP API)."""
+        """Map one request to a :class:`Response` (the whole HTTP API).
+
+        Every request is counted and timed into :attr:`telemetry` *after*
+        its response is computed, so a ``/v1/metrics`` scrape reflects all
+        requests that finished before it — never itself.
+        """
+        started = time.perf_counter()
+        route = self._route_template(path.split("?", 1)[0])
+        in_flight = self.telemetry.gauge(
+            "repro_http_in_flight", "Requests currently being handled."
+        )
+        in_flight.inc()
+        try:
+            response = self._route(method, path, headers, body)
+        finally:
+            in_flight.dec()
+        elapsed = time.perf_counter() - started
+        self.telemetry.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled, by method, route template, and status.",
+        ).inc(method=method, route=route, status=response.status)
+        self.telemetry.histogram(
+            "repro_http_request_seconds",
+            help_text="HTTP request handling latency by method and route template.",
+        ).observe(elapsed, method=method, route=route)
+        return response
+
+    def _route(
+        self,
+        method: str,
+        path: str,
+        headers: Optional[Dict[str, str]],
+        body: bytes,
+    ) -> Response:
         headers = {k.lower(): v for k, v in (headers or {}).items()}
         path = path.split("?", 1)[0]
         if path == "/v1/healthz" and method == "GET":
             return self._healthz()
+        if path == "/v1/metrics" and method == "GET":
+            return self._metrics()
         if path == "/v1/runs":
             if method == "POST":
                 return self._handle_submit(body)
@@ -439,18 +509,53 @@ class EvaluationService:
         by_state: Dict[str, int] = {}
         for job in self.jobs.values():
             by_state[job.state] = by_state.get(job.state, 0) + 1
+        busy = by_state.get(RUNNING, 0)
         return json_response(
             200,
             {
                 "status": "draining" if self.draining else "ok",
                 "version": __version__,
                 "code": code_version(),
+                "uptime_seconds": round(time.time() - self.started_at, 3),
                 "workers": self.workers,
+                "workers_busy": busy,
+                "worker_utilization": round(busy / self.workers, 4),
                 "queue_limit": self.queue_limit,
+                "queue_depth": self.queued_count(),
                 "jobs": by_state,
                 "stats": self.stats,
                 "store": str(self.store.root),
             },
+        )
+
+    def _metrics(self) -> Response:
+        """The whole registry in Prometheus text format, plus live gauges.
+
+        Instantaneous state (uptime, queue depth, busy workers, lifetime
+        submission outcomes) is re-published as gauges/counters at scrape
+        time so one endpoint carries the full picture.
+        """
+        t = self.telemetry
+        t.gauge(
+            "repro_uptime_seconds", "Seconds since the service started."
+        ).set(round(time.time() - self.started_at, 3))
+        t.gauge(
+            "repro_queue_depth", "Jobs waiting in the admission queue."
+        ).set(self.queued_count())
+        t.gauge("repro_workers", "Configured worker slots.").set(self.workers)
+        t.gauge(
+            "repro_workers_busy", "Workers currently executing a job."
+        ).set(sum(1 for job in self.jobs.values() if job.state == RUNNING))
+        submissions = t.gauge(
+            "repro_submissions",
+            "Lifetime submission outcomes (admitted, coalesced, rejected, executed).",
+        )
+        for outcome, value in sorted(self.stats.items()):
+            submissions.set(value, outcome=outcome)
+        return Response(
+            status=200,
+            body=_render_prometheus(t).encode("utf-8"),
+            content_type=_PROMETHEUS_CONTENT_TYPE,
         )
 
     def _handle_submit(self, body: bytes) -> Response:

@@ -121,6 +121,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._processed = 0
+        self._peak_queue = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -139,6 +140,15 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still queued (including lazily-cancelled ones)."""
         return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def peak_queue(self) -> int:
+        """High-water mark of the event queue length.
+
+        Counts raw heap entries (lazily-cancelled events included), so the
+        value is a deterministic function of the event sequence alone.
+        """
+        return self._peak_queue
 
     # ------------------------------------------------------------------
     # scheduling
@@ -183,6 +193,8 @@ class Simulator:
             label=label,
         )
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self._peak_queue:
+            self._peak_queue = len(self._queue)
         return EventHandle(event)
 
     # ------------------------------------------------------------------

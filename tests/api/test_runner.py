@@ -180,6 +180,37 @@ class TestRunMany:
             assert a.result.scheduler_name == b.result.scheduler_name
             assert _job_triples(a.result) == _job_triples(b.result)
 
+    def test_telemetry_counters_identical_serial_vs_parallel(self):
+        # Run counters derive only from simulated facts (events, scheduling
+        # decisions), never wall-clock, so serial and parallel execution of
+        # the same scenario must produce byte-identical reports.
+        scenarios = [
+            Scenario(workload="lublin99:jobs=80,seed=5", policy=policy, machine_size=64)
+            for policy in ("easy", "conservative", "fcfs")
+        ]
+        serial = run_many(scenarios)
+        parallel = run_many(scenarios, workers=3)
+        for a, b in zip(serial, parallel):
+            assert a.report.counters == b.report.counters
+            assert a.report.to_json() == b.report.to_json()
+        easy_counters = serial[0].report.counters
+        for key in (
+            "events_processed", "jobs_started", "jobs_backfilled",
+            "shadow_scans", "sched_passes", "max_queue_depth",
+            "peak_event_queue",
+        ):
+            assert key in easy_counters, key
+        assert "profile_builds" in serial[1].report.counters
+
+    def test_scenario_result_records_phase_timings(self):
+        result = run(
+            Scenario(workload="uniform:jobs=20,seed=2", policy="fcfs", machine_size=32)
+        )
+        assert set(result.timings) == {
+            "materialize_seconds", "simulate_seconds", "metrics_seconds",
+        }
+        assert all(v >= 0 for v in result.timings.values())
+
     def test_order_is_preserved(self):
         scenarios = [
             Scenario(workload="uniform:jobs=10,seed=1", policy=policy, machine_size=32)

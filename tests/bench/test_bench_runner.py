@@ -104,6 +104,37 @@ class TestRunSuite:
         assert (forced.cache_hits, forced.cache_misses) == (0, 6)
         assert len(store) == 6
 
+    def test_timing_breakdown_recorded(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_suite(tiny_suite(), store=store)
+        expected = {
+            "cache_lookup_seconds", "materialize_seconds", "simulate_seconds",
+            "metrics_seconds", "store_write_seconds", "total_seconds",
+            "other_seconds",
+        }
+        assert set(cold.timings) == expected
+        assert all(v >= 0 for v in cold.timings.values())
+        assert cold.timings["simulate_seconds"] > 0
+        assert cold.timings["total_seconds"] == pytest.approx(
+            cold.elapsed_seconds, abs=1e-3
+        )
+        # cache-served: the lookup is all that happens, so phases stay ~zero
+        warm = run_suite(tiny_suite(), store=store)
+        assert warm.timings["simulate_seconds"] == 0
+
+    def test_summary_explains_cache_served_runs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_suite(tiny_suite(), store=store)
+        assert "6 simulated" in cold.summary()
+        warm = run_suite(tiny_suite(), store=store)
+        assert "all 6 from cache, no simulation ran" in warm.summary()
+
+    def test_stored_entries_record_their_own_run_cost(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_suite(tiny_suite(), store=store)
+        for entry in store.entries():
+            assert entry.elapsed_seconds > 0
+
     def test_overlapping_suites_share_entries(self, tmp_path):
         store = ResultStore(tmp_path)
         run_suite(tiny_suite(policies=("fcfs",)), store=store)

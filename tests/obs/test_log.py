@@ -1,0 +1,68 @@
+"""Tests for the structured logger: level resolution and line format."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.log import configure, get_logger, resolve_level
+
+
+class TestResolveLevel:
+    def test_flag_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "error")
+        assert resolve_level("debug") == logging.DEBUG
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "info")
+        assert resolve_level(None, default="warning") == logging.INFO
+
+    def test_default_when_nothing_set(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert resolve_level(None, default="warning") == logging.WARNING
+
+    def test_unknown_level_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        with pytest.raises(ValueError):
+            resolve_level("loud")
+        monkeypatch.setenv("REPRO_LOG", "nope")
+        with pytest.raises(ValueError):
+            resolve_level(None)
+
+
+class TestStructuredLines:
+    def _capture(self, level=logging.INFO):
+        stream = io.StringIO()
+        configure(level, stream=stream)
+        return stream
+
+    def teardown_method(self):
+        # Leave the shared root logger quiet for other tests.
+        configure(logging.WARNING)
+        logging.getLogger("repro").handlers.clear()
+
+    def test_key_value_pairs_appended(self):
+        stream = self._capture()
+        get_logger("serve").info("request", method="GET", status=200)
+        line = stream.getvalue().strip()
+        assert "repro.serve" in line
+        assert line.endswith("request method=GET status=200")
+
+    def test_values_with_spaces_are_quoted(self):
+        stream = self._capture()
+        get_logger("x").info("event", path="a b")
+        assert 'path="a b"' in stream.getvalue()
+
+    def test_floats_trimmed(self):
+        stream = self._capture()
+        get_logger("x").info("event", seconds=0.125)
+        assert "seconds=0.125" in stream.getvalue()
+
+    def test_level_filters(self):
+        stream = self._capture(level=logging.WARNING)
+        get_logger("x").info("quiet")
+        get_logger("x").warning("loud")
+        output = stream.getvalue()
+        assert "quiet" not in output and "loud" in output

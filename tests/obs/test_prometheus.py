@@ -1,0 +1,92 @@
+"""Tests for the Prometheus text exposition renderer.
+
+These assert on the exact line format (version 0.0.4 of the text format):
+``# HELP`` / ``# TYPE`` headers, label escaping, cumulative ``_bucket``
+series ending in ``+Inf``, and the ``_sum`` / ``_count`` trailers.
+"""
+
+from __future__ import annotations
+
+from repro.obs.prometheus import CONTENT_TYPE, render
+from repro.obs.telemetry import Telemetry
+
+
+def lines_of(t: Telemetry):
+    return render(t).splitlines()
+
+
+class TestExposition:
+    def test_content_type_pins_format_version(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_empty_registry_renders_empty(self):
+        assert render(Telemetry()) == ""
+
+    def test_counter_with_help_and_type(self):
+        t = Telemetry()
+        t.counter("repro_jobs_total", help_text="Jobs finished.").inc(3)
+        assert lines_of(t) == [
+            "# HELP repro_jobs_total Jobs finished.",
+            "# TYPE repro_jobs_total counter",
+            "repro_jobs_total 3",
+        ]
+
+    def test_output_ends_with_newline(self):
+        t = Telemetry()
+        t.counter("x").inc()
+        assert render(t).endswith("\n")
+
+    def test_families_sorted_by_name(self):
+        t = Telemetry()
+        t.counter("zz").inc()
+        t.gauge("aa").set(1)
+        names = [l.split()[2] for l in lines_of(t) if l.startswith("# TYPE")]
+        assert names == ["aa", "zz"]
+
+    def test_labels_rendered_sorted_and_escaped(self):
+        t = Telemetry()
+        t.counter("req").inc(route='/a"b\\c\nd', method="GET")
+        sample = [l for l in lines_of(t) if not l.startswith("#")][0]
+        # label names sorted; backslash, quote, and newline escaped
+        assert sample == 'req{method="GET",route="/a\\"b\\\\c\\nd"} 1'
+
+    def test_help_text_escapes_newlines(self):
+        t = Telemetry()
+        t.counter("x", help_text="line one\nline two").inc()
+        help_line = lines_of(t)[0]
+        assert help_line == "# HELP x line one\\nline two"
+        assert "\n" not in help_line
+
+    def test_histogram_buckets_cumulative_with_inf_sum_count(self):
+        t = Telemetry()
+        h = t.histogram("lat_seconds", buckets=(0.1, 1.0), help_text="Latency.")
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(7.0)
+        assert lines_of(t) == [
+            "# HELP lat_seconds Latency.",
+            "# TYPE lat_seconds histogram",
+            'lat_seconds_bucket{le="0.1"} 1',
+            'lat_seconds_bucket{le="1"} 2',
+            'lat_seconds_bucket{le="+Inf"} 3',
+            "lat_seconds_sum 7.55",
+            "lat_seconds_count 3",
+        ]
+
+    def test_histogram_labels_precede_le(self):
+        t = Telemetry()
+        t.histogram("lat", buckets=(1.0,)).observe(0.5, route="/a")
+        bucket_lines = [l for l in lines_of(t) if "_bucket" in l]
+        assert bucket_lines[0] == 'lat_bucket{route="/a",le="1"} 1'
+
+    def test_integral_values_render_without_decimal_point(self):
+        t = Telemetry()
+        t.counter("n").inc(1000000)
+        t.gauge("g").set(2.5)
+        samples = {
+            l.split("{")[0].split(" ")[0]: l.rsplit(" ", 1)[1]
+            for l in lines_of(t)
+            if not l.startswith("#")
+        }
+        assert samples["n"] == "1000000"
+        assert samples["g"] == "2.5"

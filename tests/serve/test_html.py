@@ -90,3 +90,23 @@ class TestEscaping:
     def test_unknown_kind_falls_back_to_suite_view(self):
         page = render_report({"digest": "f" * 64, "suite": "mystery"})
         assert "mystery" in page and "f" * 64 in page
+
+
+class TestObservabilityFacts:
+    def test_served_fact_and_timing_table_render(self):
+        payload = dict(
+            SUITE_PAYLOAD,
+            cache_hits=6,
+            cache_misses=0,
+            served="served entirely from cache (6 hits, 0 simulated)",
+            timings={"cache_lookup_seconds": 0.004, "total_seconds": 0.005},
+        )
+        page = render_report(payload)
+        assert "served entirely from cache" in page
+        assert "Timing breakdown" in page
+        assert "cache_lookup" in page and "0.004" in page
+
+    def test_payloads_without_served_or_timings_still_render(self):
+        page = render_report(SUITE_PAYLOAD)
+        assert "Timing breakdown" not in page
+        assert "<!DOCTYPE html>" in page

@@ -440,3 +440,90 @@ class TestErrorsAndIntrospection:
         status, _headers, listing = server.json("GET", "/v1/runs")
         assert status == 200
         assert [job["id"] for job in listing["jobs"]] == [info["id"]]
+
+
+class TestObservability:
+    def test_healthz_reports_uptime_and_worker_utilization(self, harness):
+        server = harness(workers=2)
+        status, _headers, health = server.json("GET", "/v1/healthz")
+        assert status == 200
+        assert health["uptime_seconds"] >= 0
+        assert health["workers_busy"] == 0
+        assert health["worker_utilization"] == 0.0
+        assert health["queue_depth"] == 0
+
+    def test_metrics_exposition_counts_requests_and_jobs(self, harness):
+        server = harness(workers=1)
+        _s, _h, info = server.json("POST", "/v1/runs", body=scenario_body())
+        server.wait_for_state(info["id"])
+        server.json("GET", f"/v1/runs/{info['id']}")
+
+        status, headers, body = server.request("GET", "/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == "text/plain; version=0.0.4; charset=utf-8"
+        text = body.decode("utf-8")
+
+        # request counters by method + route template (polling runs through
+        # wait_for_state, so the exact /v1/runs/{id} count is unknown but > 0)
+        assert 'repro_http_requests_total{method="POST",route="/v1/runs",status="202"} 1' in text
+        assert 'repro_http_requests_total{method="GET",route="/v1/runs/{id}"' in text
+        # job lifecycle metrics
+        assert 'repro_jobs_total{kind="scenario",state="done"} 1' in text
+        assert 'repro_job_seconds_bucket{kind="scenario",le="+Inf"} 1' in text
+        assert 'repro_job_seconds_count{kind="scenario"} 1' in text
+        # live gauges set at scrape time
+        assert "repro_uptime_seconds" in text
+        assert "repro_queue_depth 0" in text
+        assert 'repro_submissions{outcome="executed"} 1' in text
+
+    def test_metrics_scrape_does_not_count_itself(self, harness):
+        server = harness(workers=1)
+        first = server.request("GET", "/v1/metrics")[2].decode("utf-8")
+        assert 'route="/v1/metrics"' not in first
+        second = server.request("GET", "/v1/metrics")[2].decode("utf-8")
+        # the second scrape sees exactly the first one recorded
+        assert 'repro_http_requests_total{method="GET",route="/v1/metrics",status="200"} 1' in second
+
+    def test_metrics_output_is_well_formed_exposition(self, harness):
+        server = harness(workers=1)
+        server.json("GET", "/v1/healthz")
+        text = server.request("GET", "/v1/metrics")[2].decode("utf-8")
+        assert text.endswith("\n")
+        seen_types = {}
+        for line in text.splitlines():
+            assert line, "no blank lines in exposition output"
+            if line.startswith("# TYPE"):
+                _hash, _type, name, kind = line.split()
+                assert kind in ("counter", "gauge", "histogram")
+                assert name not in seen_types, "one TYPE line per family"
+                seen_types[name] = kind
+        # every sample belongs to a declared family
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in seen_types:
+                    base = name[: -len(suffix)]
+            assert base in seen_types
+
+    def test_coalesced_submissions_counted(self, harness, monkeypatch):
+        release = threading.Event()
+
+        def slow_run_suite(*args, **kwargs):
+            release.wait(30)
+            return fake_suite_result()
+
+        monkeypatch.setattr("repro.serve.service.run_suite", slow_run_suite)
+        server = harness(workers=1)
+        try:
+            first = server.json("POST", "/v1/runs", body='{"suite": "smoke"}')[2]
+            second = server.json("POST", "/v1/runs", body='{"suite": "smoke"}')[2]
+            assert second["id"] == first["id"] and second["coalesced"] is True
+            text = server.request("GET", "/v1/metrics")[2].decode("utf-8")
+            # one admission, one coalesce — "submitted" counts admissions only
+            assert 'repro_submissions{outcome="coalesced"} 1' in text
+            assert 'repro_submissions{outcome="submitted"} 1' in text
+        finally:
+            release.set()

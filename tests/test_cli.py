@@ -207,6 +207,33 @@ class TestBenchCommands:
         assert main(["bench", "run", "smokey", "--store", str(tmp_path)]) == 2
         assert "did you mean" in capsys.readouterr().err
 
+    def test_bench_run_timings_flag(self, tmp_path, capsys):
+        json_out = tmp_path / "run.json"
+        assert main(["bench", "run", "smoke", "--store", str(tmp_path / "store"),
+                     "--timings", "--json", str(json_out)]) == 0
+        out = capsys.readouterr().out
+        assert "Timing breakdown" in out and "simulate" in out
+        payload = json.loads(json_out.read_text())
+        assert payload["timings"]["total_seconds"] >= 0
+        assert "simulated" in payload["served"]
+
+    def test_bench_report_timings_column(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["bench", "run", "smoke", "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "report", "--store", str(store), "--timings"]) == 0
+        assert "run seconds" in capsys.readouterr().out
+
+    def test_bad_log_level_rejected(self, capsys):
+        import os
+
+        os.environ["REPRO_LOG"] = "shouty"
+        try:
+            assert main(["bench", "report", "--store", "/tmp/nonexistent"]) == 2
+            assert "unknown log level" in capsys.readouterr().err
+        finally:
+            del os.environ["REPRO_LOG"]
+
 
 class TestTraceCommands:
     @pytest.fixture(autouse=True)

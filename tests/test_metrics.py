@@ -98,6 +98,16 @@ class TestComputeMetrics:
             report.value("no_such_metric")
         assert "utilization" in report.as_dict()
 
+    def test_counters_ride_along_and_are_addressable(self):
+        result = simulation(jobs=[job_result(1)])
+        result.counters.update({"sched_passes": 7, "jobs_backfilled": 3})
+        report = compute_metrics(result)
+        assert report.counters == {"jobs_backfilled": 3, "sched_passes": 7}
+        assert report.value("counters.sched_passes") == 7.0
+        # a counter the run never emitted reads 0, not KeyError — policies
+        # differ in which counters they produce
+        assert report.value("counters.never_emitted") == 0.0
+
 
 class TestConfidenceInterval:
     def test_mean_and_width(self):
