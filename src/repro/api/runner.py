@@ -45,6 +45,13 @@ from repro.core.swf.workload import Workload
 from repro.evaluation.results import SimulationResult
 from repro.evaluation.simulator import simulate
 from repro.metrics.basic import MetricsReport, compute_metrics
+from repro.obs.trace import (
+    Tracer,
+    current_span_id,
+    current_tracer,
+    trace_scope,
+    trace_span,
+)
 from repro.schedulers.base import Scheduler
 from repro.schedulers.gang import simulate_gang
 from repro.util import looks_like_swf_path as _looks_like_path
@@ -70,6 +77,10 @@ class ScenarioResult:
     #: nature, so it rides here — never inside :attr:`report`, whose content
     #: feeds the content-addressed result store.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: serialized trace spans recorded by a ``run_many`` worker process,
+    #: present only when the parent had an active tracer; the parent grafts
+    #: these into its own timeline and drops the copy.
+    trace_spans: Optional[List[Dict[str, Any]]] = None
 
     @property
     def scheduler(self) -> str:
@@ -234,72 +245,80 @@ def run(
     in-memory :class:`OutageLog`.  Overridden runs execute identically but
     lose the scenario's from-spec reproducibility.
     """
-    if policy is None:
-        name, _ = parse_spec(scenario.policy)
-        factory = scheduler_registry.get(name)
-        mode = getattr(factory, "mode", "space")
-        policy = scheduler_registry.create(scenario.policy)
-    else:
-        mode = getattr(policy, "mode", "space")
+    with trace_span(
+        "run.scenario", scenario=scenario.label, policy=scenario.policy
+    ):
+        if policy is None:
+            name, _ = parse_spec(scenario.policy)
+            factory = scheduler_registry.get(name)
+            mode = getattr(factory, "mode", "space")
+            policy = scheduler_registry.create(scenario.policy)
+        else:
+            mode = getattr(policy, "mode", "space")
 
-    if mode != "space":
-        # Outage replay and closed-feedback replay are features of the
-        # space-sharing driver only; dropping them silently would let a user
-        # believe a gang/grid run honoured conditions it never saw.
-        unsupported = []
-        if scenario.outages is not None or outages is not None:
-            unsupported.append("outages")
-        if scenario.honor_dependencies:
-            unsupported.append("honor_dependencies")
-        if unsupported:
-            raise ValueError(
-                f"policy {scenario.policy!r} runs on the {mode!r} simulator, "
-                f"which does not support: {', '.join(unsupported)}"
-            )
+        if mode != "space":
+            # Outage replay and closed-feedback replay are features of the
+            # space-sharing driver only; dropping them silently would let a
+            # user believe a gang/grid run honoured conditions it never saw.
+            unsupported = []
+            if scenario.outages is not None or outages is not None:
+                unsupported.append("outages")
+            if scenario.honor_dependencies:
+                unsupported.append("honor_dependencies")
+            if unsupported:
+                raise ValueError(
+                    f"policy {scenario.policy!r} runs on the {mode!r} simulator, "
+                    f"which does not support: {', '.join(unsupported)}"
+                )
 
-    if mode == "grid":
-        return _run_grid(scenario, policy, workload)
+        if mode == "grid":
+            return _run_grid(scenario, policy, workload)
 
-    timings: Dict[str, float] = {}
-    phase_started = time.perf_counter()
-    materialized = _materialize(scenario, workload)
-    timings["materialize_seconds"] = time.perf_counter() - phase_started
-    phase_started = time.perf_counter()
-    if mode == "gang":
-        result = simulate_gang(
-            materialized,
-            machine_size=scenario.machine_size,
-            max_slots=policy.slots,
-            context_switch_overhead=policy.overhead,
+        timings: Dict[str, float] = {}
+        phase_started = time.perf_counter()
+        with trace_span("run.materialize", workload=scenario.workload):
+            materialized = _materialize(scenario, workload)
+        timings["materialize_seconds"] = time.perf_counter() - phase_started
+        phase_started = time.perf_counter()
+        with trace_span("run.simulate", mode=mode):
+            if mode == "gang":
+                result = simulate_gang(
+                    materialized,
+                    machine_size=scenario.machine_size,
+                    max_slots=policy.slots,
+                    context_switch_overhead=policy.overhead,
+                )
+            elif mode == "space":
+                if not isinstance(policy, Scheduler):
+                    raise TypeError(
+                        f"policy {scenario.policy!r} resolved to {policy!r}, "
+                        "which is not a space-sharing Scheduler"
+                    )
+                result = simulate(
+                    materialized,
+                    policy,
+                    machine_size=scenario.machine_size,
+                    outages=_resolve_outages(scenario, outages),
+                    honor_dependencies=scenario.honor_dependencies,
+                    restart_failed_jobs=scenario.restart_failed_jobs,
+                    max_restarts=scenario.max_restarts,
+                )
+            else:
+                raise ValueError(
+                    f"policy {scenario.policy!r} declares unknown mode {mode!r}"
+                )
+        timings["simulate_seconds"] = time.perf_counter() - phase_started
+
+        phase_started = time.perf_counter()
+        with trace_span("run.metrics"):
+            report = compute_metrics(result, tau=scenario.tau)
+        timings["metrics_seconds"] = time.perf_counter() - phase_started
+        return ScenarioResult(
+            scenario=scenario,
+            result=result,
+            report=report,
+            timings=timings,
         )
-    elif mode == "space":
-        if not isinstance(policy, Scheduler):
-            raise TypeError(
-                f"policy {scenario.policy!r} resolved to {policy!r}, "
-                "which is not a space-sharing Scheduler"
-            )
-        result = simulate(
-            materialized,
-            policy,
-            machine_size=scenario.machine_size,
-            outages=_resolve_outages(scenario, outages),
-            honor_dependencies=scenario.honor_dependencies,
-            restart_failed_jobs=scenario.restart_failed_jobs,
-            max_restarts=scenario.max_restarts,
-        )
-    else:
-        raise ValueError(f"policy {scenario.policy!r} declares unknown mode {mode!r}")
-    timings["simulate_seconds"] = time.perf_counter() - phase_started
-
-    phase_started = time.perf_counter()
-    report = compute_metrics(result, tau=scenario.tau)
-    timings["metrics_seconds"] = time.perf_counter() - phase_started
-    return ScenarioResult(
-        scenario=scenario,
-        result=result,
-        report=report,
-        timings=timings,
-    )
 
 
 def _run_grid(
@@ -371,7 +390,8 @@ def _run_grid(
     )
     timings["materialize_seconds"] = time.perf_counter() - phase_started
     phase_started = time.perf_counter()
-    grid_result = simulation.run()
+    with trace_span("run.simulate", mode="grid"):
+        grid_result = simulation.run()
     timings["simulate_seconds"] = time.perf_counter() - phase_started
 
     merged_jobs = sorted(
@@ -414,8 +434,17 @@ def _broadcast(value: Any, count: int, what: str) -> List[Any]:
 
 
 def _run_task(task) -> ScenarioResult:
-    scenario, workload, outages = task
-    return run(scenario, workload=workload, outages=outages)
+    scenario, workload, outages, traced = task
+    if not traced:
+        return run(scenario, workload=workload, outages=outages)
+    # Worker processes cannot see the parent's contextvar scope; record into
+    # a fresh local tracer and ship the serialized spans home with the
+    # result, where run_many grafts them into the parent timeline.
+    tracer = Tracer()
+    with trace_scope(tracer):
+        result = run(scenario, workload=workload, outages=outages)
+    result.trace_spans = tracer.serialize()
+    return result
 
 
 def _run_indexed(indexed_task) -> tuple:
@@ -434,7 +463,7 @@ def _prewarm_traces(tasks) -> None:
     """
     cache = None
     warmed: set = set()
-    for scenario, workload, _outages in tasks:
+    for scenario, workload, *_rest in tasks:
         if workload is not None or not scenario.workload.startswith("trace:"):
             continue
         from repro.traces import TraceCache, trace_for_scenario
@@ -470,16 +499,23 @@ def run_many(
     needs.  The returned list is always in input order regardless.
     """
     scenarios = list(scenarios)
+    serial = workers is None or workers <= 1 or len(scenarios) == 1
+    tracer = current_tracer()
+    # Serial runs record straight into the active scope (run() emits spans
+    # through the contextvar); only pool workers need the record-and-graft
+    # round trip, so the traced flag is set for the parallel path alone.
+    traced = tracer is not None and not serial
     tasks = list(
         zip(
             scenarios,
             _broadcast(workloads, len(scenarios), "workloads"),
             _broadcast(outages, len(scenarios), "outages"),
+            [traced] * len(scenarios),
         )
     )
     if not tasks:
         return []
-    if workers is None or workers <= 1 or len(tasks) == 1:
+    if serial:
         results = []
         for index, task in enumerate(tasks):
             result = _run_task(task)
@@ -488,11 +524,15 @@ def run_many(
                 on_result(index, result)
         return results
     _prewarm_traces(tasks)
+    graft_parent = current_span_id()
     results_by_index: List[Optional[ScenarioResult]] = [None] * len(tasks)
     with multiprocessing.Pool(processes=min(workers, len(tasks))) as pool:
         for index, result in pool.imap_unordered(
             _run_indexed, list(enumerate(tasks)), chunksize=1
         ):
+            if traced and result.trace_spans:
+                tracer.graft(result.trace_spans, parent_id=graft_parent)
+                result.trace_spans = None
             results_by_index[index] = result
             if on_result is not None:
                 on_result(index, result)

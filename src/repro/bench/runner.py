@@ -33,6 +33,7 @@ from repro.bench.store import ResultStore, StoredResult, result_key
 from repro.bench.suite import BenchmarkCase, BenchmarkSuite, get_suite
 from repro.metrics.basic import MetricsReport
 from repro.metrics.objective import MAXIMIZE_METRICS
+from repro.obs.trace import trace_span
 
 __all__ = [
     "ReplicationOutcome",
@@ -276,7 +277,8 @@ def run_suite(
         "metrics_seconds": 0.0,
         "store_write_seconds": 0.0,
     }
-    entries = _expand(suite)
+    with trace_span("bench.expand", suite=suite.name):
+        entries = _expand(suite)
 
     # A key can appear twice when cases overlap; it is one work unit.
     unique: Dict[str, tuple] = {}
@@ -288,13 +290,14 @@ def run_suite(
     reports: Dict[str, MetricsReport] = {}
     if store is not None and use_cache:
         lookup_started = time.perf_counter()
-        for key in unique:
-            hit = store.get(key)
-            if hit is not None:
-                reports[key] = hit.report
-                done += 1
-                if progress is not None:
-                    progress(done, total, True)
+        with trace_span("bench.cache_lookup", keys=total):
+            for key in unique:
+                hit = store.get(key)
+                if hit is not None:
+                    reports[key] = hit.report
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, True)
         timings["cache_lookup_seconds"] = time.perf_counter() - lookup_started
 
     unique_misses: Dict[str, tuple] = {
@@ -313,30 +316,34 @@ def run_suite(
                 timings[phase] += run_timings.get(phase, 0.0)
             if store is not None:
                 write_started = time.perf_counter()
-                store.put(
-                    StoredResult(
-                        key=key,
-                        scenario=scenario,
-                        report=scenario_result.report,
-                        extra=extra,
-                        suite=suite.name,
-                        case=case.name,
-                        # This run's own wall-clock cost (the worker-side
-                        # phase breakdown), not an average over the batch.
-                        elapsed_seconds=sum(run_timings.values()),
+                with trace_span("bench.store_write", case=case.name):
+                    store.put(
+                        StoredResult(
+                            key=key,
+                            scenario=scenario,
+                            report=scenario_result.report,
+                            extra=extra,
+                            suite=suite.name,
+                            case=case.name,
+                            # This run's own wall-clock cost (the worker-side
+                            # phase breakdown), not an average over the batch.
+                            elapsed_seconds=sum(run_timings.values()),
+                        )
                     )
-                )
                 timings["store_write_seconds"] += time.perf_counter() - write_started
             if progress is not None:
                 progress(done, total, False)
 
-        run_many(
-            [scenario for _c, _s, scenario, _e, _k in ordered],
-            workers=workers,
-            workloads=_shared_workloads(ordered),
-            outages=[case.outage_log(seed) for case, seed, _sc, _e, _k in ordered],
-            on_result=_record,
-        )
+        with trace_span(
+            "bench.fan_out", misses=len(unique_misses), workers=workers or 1
+        ):
+            run_many(
+                [scenario for _c, _s, scenario, _e, _k in ordered],
+                workers=workers,
+                workloads=_shared_workloads(ordered),
+                outages=[case.outage_log(seed) for case, seed, _sc, _e, _k in ordered],
+                on_result=_record,
+            )
 
     # Only the first entry per simulated key counts as a miss: a duplicate
     # key later in the suite is served from this run's own result, exactly

@@ -1,0 +1,233 @@
+"""Perf-trend gating: compare a run's phase timings against a baseline.
+
+PR 5 started committing enriched ``BENCH_*.json`` files — the repo's perf
+trajectory.  This module closes the loop: load a committed baseline and the
+current run, compare the wall-clock phase breakdown, and say whether any
+phase regressed beyond tolerance.  ``repro bench trend`` renders the table
+and exits nonzero on regression, which is what lets CI gate on it.
+
+Timings are single-shot wall-clock measurements on shared runners, so the
+comparison is deliberately forgiving on two axes:
+
+* ``tolerance`` — relative headroom: current may be up to
+  ``baseline * (1 + tolerance)`` before it counts.
+* ``min_seconds`` — an absolute noise floor: a phase must be slower by more
+  than this many seconds, whatever the ratio.  Without it a 0.2 ms phase
+  doubling to 0.4 ms would "regress" on pure scheduling jitter.
+
+A phase flags as a regression only when it exceeds *both*.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.bench.report import _markdown_table
+
+__all__ = [
+    "PhaseTrend",
+    "TrendReport",
+    "compare_timings",
+    "load_timings",
+    "trend_json",
+    "trend_markdown",
+]
+
+#: statuses a phase can land in
+OK = "ok"
+REGRESSION = "regression"
+IMPROVED = "improved"
+SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class PhaseTrend:
+    """One phase's baseline-vs-current comparison."""
+
+    phase: str
+    baseline: Optional[float]
+    current: Optional[float]
+    status: str
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """current / baseline; None when undefined (missing or 0 baseline)."""
+        if self.baseline is None or self.current is None or self.baseline <= 0:
+            return None
+        return self.current / self.baseline
+
+
+@dataclass(frozen=True)
+class TrendReport:
+    """Every phase compared, plus the thresholds that judged them."""
+
+    phases: List[PhaseTrend]
+    tolerance: float
+    min_seconds: float
+    baseline_label: str
+    current_label: str
+
+    @property
+    def regressions(self) -> List[PhaseTrend]:
+        return [p for p in self.phases if p.status == REGRESSION]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def compare_timings(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float = 0.5,
+    min_seconds: float = 0.005,
+    baseline_label: str = "baseline",
+    current_label: str = "current",
+) -> TrendReport:
+    """Judge ``current`` against ``baseline`` phase by phase.
+
+    Regression: ``current > baseline * (1 + tolerance)`` *and*
+    ``current - baseline > min_seconds``.  Improvement is the mirror image
+    (informational only — it never affects the exit code).  Phases present
+    on only one side are ``skipped``, not failed: a new phase has no
+    baseline to regress against, and a removed one has nothing to measure.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    if min_seconds < 0:
+        raise ValueError("min_seconds must be >= 0")
+    phases: List[PhaseTrend] = []
+    for phase in sorted(set(baseline) | set(current)):
+        base = baseline.get(phase)
+        cur = current.get(phase)
+        if base is None or cur is None:
+            status = SKIPPED
+        elif cur > base * (1 + tolerance) and cur - base > min_seconds:
+            status = REGRESSION
+        elif base > cur * (1 + tolerance) and base - cur > min_seconds:
+            status = IMPROVED
+        else:
+            status = OK
+        phases.append(PhaseTrend(phase=phase, baseline=base, current=cur, status=status))
+    return TrendReport(
+        phases=phases,
+        tolerance=tolerance,
+        min_seconds=min_seconds,
+        baseline_label=baseline_label,
+        current_label=current_label,
+    )
+
+
+def load_timings(path: Union[str, Path]) -> Tuple[Dict[str, float], str]:
+    """Load a phase-timings dict from any of the shapes the repo emits.
+
+    Accepts a committed ``BENCH_*.json`` trajectory file (uses its
+    ``cold_timings`` — the cold pass is the one that exercises every
+    phase), a ``bench run --json`` suite dump (its ``timings``), or a bare
+    ``{phase: seconds}`` object.  Returns the timings plus a label naming
+    what was loaded.
+    """
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    if isinstance(data.get("cold_timings"), dict):
+        label = str(data.get("benchmark") or path.name)
+        return _as_timings(data["cold_timings"], path), f"{label} (cold)"
+    if isinstance(data.get("timings"), dict):
+        label = str(data.get("suite") or path.name)
+        return _as_timings(data["timings"], path), label
+    return _as_timings(data, path), path.name
+
+
+def _as_timings(data: Dict[str, Any], path: Path) -> Dict[str, float]:
+    timings: Dict[str, float] = {}
+    for key, value in data.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"{path}: timing {key!r} is not a number")
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"{path}: timing {key!r} is not finite")
+        timings[str(key)] = value
+    if not timings:
+        raise ValueError(f"{path}: no phase timings found")
+    return timings
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _fmt(value: Optional[float], suffix: str = "") -> str:
+    return "—" if value is None else f"{value:.3f}{suffix}"
+
+
+def trend_markdown(report: TrendReport) -> str:
+    """The trend table plus a one-line verdict."""
+    rows = [
+        {
+            "phase": p.phase.replace("_seconds", ""),
+            report.baseline_label: _fmt(p.baseline, "s"),
+            report.current_label: _fmt(p.current, "s"),
+            "delta": _fmt(p.delta, "s"),
+            "ratio": _fmt(p.ratio, "x"),
+            "status": p.status,
+        }
+        for p in report.phases
+    ]
+    if report.ok:
+        verdict = (
+            f"no regressions (tolerance {report.tolerance:.0%} + "
+            f"{report.min_seconds * 1000:.0f}ms floor)"
+        )
+    else:
+        names = ", ".join(p.phase.replace("_seconds", "") for p in report.regressions)
+        verdict = (
+            f"{len(report.regressions)} regression(s): {names} "
+            f"(tolerance {report.tolerance:.0%} + "
+            f"{report.min_seconds * 1000:.0f}ms floor)"
+        )
+    parts = [
+        f"# Perf trend — {report.baseline_label} vs {report.current_label}",
+        "",
+        _markdown_table(rows),
+        "",
+        verdict,
+    ]
+    return "\n".join(parts)
+
+
+def trend_json(report: TrendReport) -> Dict[str, Any]:
+    """Machine view of the comparison (what CI archives)."""
+    return {
+        "baseline": report.baseline_label,
+        "current": report.current_label,
+        "tolerance": report.tolerance,
+        "min_seconds": report.min_seconds,
+        "status": OK if report.ok else REGRESSION,
+        "regressions": len(report.regressions),
+        "phases": [
+            {
+                "phase": p.phase,
+                "baseline_seconds": p.baseline,
+                "current_seconds": p.current,
+                "delta_seconds": p.delta,
+                "ratio": p.ratio,
+                "status": p.status,
+            }
+            for p in report.phases
+        ],
+    }

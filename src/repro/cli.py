@@ -19,14 +19,15 @@ experiment — are all available from the shell::
     python -m repro.cli trace info ctc-sp2,load=1.2,slice=0:7d
     python -m repro.cli trace build ctc-sp2,load=1.2 --output week.swf
     python -m repro.cli bench run smoke --workers 2
-    python -m repro.cli bench run smoke --timings
+    python -m repro.cli bench run smoke --timings --trace trace.json
     python -m repro.cli bench compare fcfs backfill --suite std-space
     python -m repro.cli bench report --timings
+    python -m repro.cli bench trend --baseline BENCH_bench_smoke.json --suite smoke
     python -m repro.cli bench gc --max-age-days 30
     python -m repro.cli trace gc --dry-run
     python -m repro.cli serve --port 8765 --workers 2 --queue-limit 8
-    python -m repro.cli profile "sjf:strict=true" --jobs 2000
-    python -m repro.cli --log-level debug bench run smoke
+    python -m repro.cli profile "sjf:strict=true" --jobs 2000 --output profile.txt
+    python -m repro.cli --log-level debug --log-format json bench run smoke
 
 Policies and workload models are resolved through the registries in
 :mod:`repro.api` — every registered name is reachable, and spec strings
@@ -81,6 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["debug", "info", "warning", "error"],
         help="structured-log verbosity on stderr (default: $REPRO_LOG, "
         "else info for serve and warning elsewhere)",
+    )
+    parser.add_argument(
+        "--log-format",
+        default=None,
+        choices=["text", "json"],
+        help="log line format: human key=value text (default) or one JSON "
+        "object per line for log shippers (default: $REPRO_LOG_FORMAT)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -225,6 +233,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the wall-clock phase breakdown (cache lookup, "
         "materialize, simulate, metrics, store writes)",
     )
+    b_run.add_argument(
+        "--trace", dest="trace_out", default=None,
+        help="write the run's span timeline here as Chrome trace-event JSON "
+        "(opens in Perfetto / chrome://tracing)",
+    )
     _bench_common(b_run)
 
     b_compare = bench_sub.add_parser(
@@ -249,6 +262,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true",
         help="add a wall-clock column (mean per-replication run seconds)",
     )
+
+    b_trend = bench_sub.add_parser(
+        "trend",
+        help="compare phase timings against a committed baseline; "
+        "exits 1 when a phase regressed beyond tolerance",
+    )
+    b_trend.add_argument(
+        "--baseline", required=True,
+        help="baseline JSON: a committed BENCH_*.json trajectory file, a "
+        "bench run --json dump, or a bare {phase: seconds} object",
+    )
+    b_trend.add_argument(
+        "--current", default=None,
+        help="current-run JSON (same accepted shapes); "
+        "alternatively use --suite to run one now",
+    )
+    b_trend.add_argument(
+        "--suite", default=None,
+        help="run this suite now and compare its timings (cold: implies --no-cache)",
+    )
+    b_trend.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="relative headroom: current may be up to baseline*(1+tolerance) "
+        "(default 0.5, i.e. 50 percent slower)",
+    )
+    b_trend.add_argument(
+        "--min-seconds", type=float, default=0.005,
+        help="absolute noise floor: a phase must also be slower by more "
+        "than this many seconds to count (default 0.005)",
+    )
+    _bench_common(b_trend)
 
     b_gc = bench_sub.add_parser(
         "gc", help="evict result-store entries by age and stale code version"
@@ -292,6 +336,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="ignore cached results (fresh runs still refresh the store)",
     )
+    p_serve.add_argument(
+        "--journal", default=None,
+        help="job-journal path (default: <store>/journal.jsonl); replayed "
+        "on start so finished digests survive restarts",
+    )
+    p_serve.add_argument(
+        "--no-journal", action="store_true",
+        help="don't persist or replay the job journal",
+    )
 
     p_profile = sub.add_parser(
         "profile",
@@ -310,6 +363,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--machine-size", type=int, default=128)
     p_profile.add_argument("--seed", type=int, default=1)
     p_profile.add_argument("--top", type=int, default=25, help="hotspot rows to print")
+    p_profile.add_argument(
+        "--output", default=None,
+        help="also write the hotspot table (or raw pstats data with --raw) here",
+    )
+    p_profile.add_argument(
+        "--raw", action="store_true",
+        help="with --output: dump raw pstats data (for snakeviz et al.) "
+        "instead of the text table",
+    )
 
     return parser
 
@@ -554,21 +616,83 @@ def _cmd_bench(args) -> int:
 
     try:
         if args.bench_command == "run":
-            result = run_suite(
-                args.suite,
-                workers=args.workers,
-                store=store,
-                use_cache=not args.no_cache,
-                confidence=args.confidence,
-                progress=_progress,
-            )
+            tracer = None
+            if args.trace_out:
+                from repro.obs.trace import Tracer, trace_scope
+
+                tracer = Tracer()
+                scope = trace_scope(tracer)
+            else:
+                from contextlib import nullcontext
+
+                scope = nullcontext()
+            with scope:
+                result = run_suite(
+                    args.suite,
+                    workers=args.workers,
+                    store=store,
+                    use_cache=not args.no_cache,
+                    confidence=args.confidence,
+                    progress=_progress,
+                )
             print(format_table(result.rows()))
             print(result.summary() + f"; store: {store.root}")
+            if tracer is not None:
+                from repro.obs.trace import write_chrome_trace
+
+                write_chrome_trace(tracer, args.trace_out)
+                print(
+                    f"wrote Chrome trace ({len(tracer.spans)} spans) to "
+                    f"{args.trace_out} — open in Perfetto or chrome://tracing"
+                )
             if args.timings:
                 print()
                 print(timings_markdown(result.timings))
             _write_text(args.json_out, to_json_text(suite_json(result)))
             _write_text(args.markdown_out, suite_markdown(result))
+        elif args.bench_command == "trend":
+            from repro.bench.trend import (
+                compare_timings,
+                load_timings,
+                trend_json,
+                trend_markdown,
+            )
+
+            if bool(args.current) == bool(args.suite):
+                print(
+                    "bench trend needs exactly one of --current or --suite",
+                    file=sys.stderr,
+                )
+                return 2
+            baseline, baseline_label = load_timings(args.baseline)
+            if args.current:
+                current, current_label = load_timings(args.current)
+            else:
+                # A live comparison must run cold: cache-served phases
+                # report ~0s and would mask any regression.
+                result = run_suite(
+                    args.suite,
+                    workers=args.workers,
+                    store=store,
+                    use_cache=False,
+                    confidence=args.confidence,
+                    progress=_progress,
+                )
+                current = dict(result.timings)
+                current_label = f"{args.suite} (live)"
+            report = compare_timings(
+                baseline,
+                current,
+                tolerance=args.tolerance,
+                min_seconds=args.min_seconds,
+                baseline_label=baseline_label,
+                current_label=current_label,
+            )
+            text = trend_markdown(report)
+            print(text)
+            _write_text(args.markdown_out, text + "\n")
+            _write_text(args.json_out, to_json_text(trend_json(report)))
+            return report.exit_code()
         elif args.bench_command == "compare":
             result = compare_policies(
                 args.suite,
@@ -618,6 +742,8 @@ def _cmd_serve(args) -> int:
                 run_workers=args.run_workers,
                 store=args.store,
                 use_cache=not args.no_cache,
+                journal=args.journal,
+                use_journal=not args.no_journal,
             )
         )
     except (ValueError, OSError) as exc:
@@ -629,6 +755,9 @@ def _cmd_profile(args) -> int:
     from repro.bench.suite import suite_names
     from repro.obs import hotspot_table, profile_call
 
+    if args.raw and not args.output:
+        print("--raw needs --output (a path for the pstats dump)", file=sys.stderr)
+        return 2
     try:
         if args.target in suite_names():
             from repro.bench.runner import run_suite
@@ -653,8 +782,15 @@ def _cmd_profile(args) -> int:
     except (RegistryError, ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    print(f"profile of {subject}:")
-    print(hotspot_table(profiled))
+    table = f"profile of {subject}:\n{hotspot_table(profiled)}"
+    print(table)
+    if args.output:
+        if args.raw:
+            profiled.dump_stats(args.output)
+            print(f"wrote raw pstats dump to {args.output}")
+        else:
+            _write_text(args.output, table + "\n")
+            print(f"wrote hotspot table to {args.output}")
     return 0
 
 
@@ -699,14 +835,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    from repro.obs.log import configure, resolve_level
+    from repro.obs.log import configure, resolve_format, resolve_level
 
     # serve is the one long-running command where the access log is the
     # point; everything else stays quiet unless asked (--log-level or
     # $REPRO_LOG).
     default_level = "info" if args.command == "serve" else "warning"
     try:
-        configure(resolve_level(args.log_level, default=default_level))
+        configure(
+            resolve_level(args.log_level, default=default_level),
+            fmt=resolve_format(args.log_format),
+        )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2

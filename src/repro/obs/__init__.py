@@ -8,13 +8,33 @@ measurable without adding a dependency:
   timers and no-op-safe module helpers for deep call sites (schedulers).
 * :mod:`repro.obs.prometheus` — text exposition (format 0.0.4) for the
   serve daemon's ``GET /v1/metrics``.
-* :mod:`repro.obs.log` — structured ``key=value`` logging behind
-  ``repro --log-level`` / ``REPRO_LOG``.
+* :mod:`repro.obs.log` — structured ``key=value`` (or JSON-lines) logging
+  behind ``repro --log-level`` / ``--log-format`` / ``REPRO_LOG``.
 * :mod:`repro.obs.profile` — cProfile hotspot tables for ``repro profile``.
+* :mod:`repro.obs.trace` — hierarchical span timelines with Chrome
+  trace-event export (``repro bench run --trace``).
+* :mod:`repro.obs.journal` — the serve daemon's append-only job journal.
 """
 
-from .log import configure as configure_logging, get_logger, resolve_level
+from .journal import JobJournal, JournalReplay, replay as replay_journal
+from .log import (
+    configure as configure_logging,
+    get_logger,
+    resolve_format,
+    resolve_level,
+)
 from .profile import Hotspot, ProfileRun, hotspot_table, profile_call
+from .trace import (
+    Tracer,
+    TraceSpan,
+    chrome_trace,
+    chrome_trace_text,
+    current_span_id,
+    current_tracer,
+    trace_scope,
+    trace_span,
+    write_chrome_trace,
+)
 from .prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE, render as render_prometheus
 from .telemetry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -46,9 +66,22 @@ __all__ = [
     "render_prometheus",
     "configure_logging",
     "get_logger",
+    "resolve_format",
     "resolve_level",
     "Hotspot",
     "ProfileRun",
     "hotspot_table",
     "profile_call",
+    "Tracer",
+    "TraceSpan",
+    "chrome_trace",
+    "chrome_trace_text",
+    "current_span_id",
+    "current_tracer",
+    "trace_scope",
+    "trace_span",
+    "write_chrome_trace",
+    "JobJournal",
+    "JournalReplay",
+    "replay_journal",
 ]

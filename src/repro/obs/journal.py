@@ -1,0 +1,172 @@
+"""An append-only JSONL journal of job lifecycle events, replayable on boot.
+
+The serve daemon's coalescing map (:class:`~repro.serve.service.
+EvaluationService.jobs`) lives in memory: a restart forgets every digest it
+ever answered, even though the *results* survive in the content-addressed
+store.  The journal closes that gap at the cost of one small append per
+lifecycle transition:
+
+* :meth:`JobJournal.append` writes one JSON object per line.  Writes are
+  flushed immediately (a reader tailing the file sees every event) but
+  ``fsync``\\ ed in batches — every ``batch_size`` events, or immediately
+  when the caller marks an event durable (terminal transitions are).  A
+  crash can therefore lose at most the tail of a batch, never a fsynced
+  terminal state.
+
+* :func:`replay` reads the file back tolerantly: a torn final line (the
+  crash happened mid-write) or a corrupt line is counted and skipped, not
+  fatal.  The daemon replays at boot, recreating *finished* jobs so their
+  digests are served without re-running; jobs whose last journaled state is
+  non-terminal were interrupted and are deliberately forgotten — a
+  resubmission must run them again, not coalesce onto a ghost.
+
+The format is deliberately dumb — one dict per line, ``event`` naming the
+transition — so shell tooling (``tail -f``, ``jq``) works on it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+__all__ = ["JobJournal", "JournalReplay", "replay"]
+
+
+class JobJournal:
+    """Append-only JSONL event log with batched fsync."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        batch_size: int = 8,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.path = Path(path)
+        self.batch_size = batch_size
+        self._clock = clock
+        self._handle = None
+        self._pending = 0
+        # The serve daemon appends from the event loop *and* from executor
+        # threads (progress events); one lock keeps lines whole.
+        self._lock = threading.Lock()
+        #: events appended through this handle (not the file's total)
+        self.appended = 0
+
+    def _open(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, event: Dict[str, Any], durable: bool = False) -> Dict[str, Any]:
+        """Append one event line; stamps ``ts`` if the caller didn't.
+
+        ``durable=True`` forces an immediate fsync (terminal job states);
+        otherwise the event is flushed now and fsynced with its batch.
+        """
+        record = dict(event)
+        record.setdefault("ts", round(self._clock(), 6))
+        with self._lock:
+            handle = self._open()
+            handle.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+            handle.flush()
+            self.appended += 1
+            self._pending += 1
+            if durable or self._pending >= self.batch_size:
+                self._sync_locked()
+        return record
+
+    def _sync_locked(self) -> None:
+        if self._handle is not None and self._pending:
+            os.fsync(self._handle.fileno())
+            self._pending = 0
+
+    def sync(self) -> None:
+        """fsync anything flushed but not yet durable."""
+        with self._lock:
+            self._sync_locked()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._sync_locked()
+                self._handle.close()
+                self._handle = None
+
+    def size_bytes(self) -> int:
+        """Current on-disk size (0 when the file doesn't exist yet)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalReplay:
+    """What one replay pass read: the events, and how trustworthy they are."""
+
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    #: lines that did not parse as a JSON object (torn tail, corruption)
+    malformed: int = 0
+    bytes_read: int = 0
+
+    def by_digest(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Events grouped by job digest, in file (= time) order."""
+        grouped: Dict[str, List[Dict[str, Any]]] = {}
+        for event in self.events:
+            digest = event.get("digest")
+            if isinstance(digest, str) and digest:
+                grouped.setdefault(digest, []).append(event)
+        return grouped
+
+
+def _iter_lines(path: Path) -> Iterator[str]:
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        yield from handle
+
+
+def replay(path: Union[str, Path]) -> JournalReplay:
+    """Read a journal file tolerantly; missing file = empty replay.
+
+    A final line without a newline is a torn write from a crash — counted
+    as malformed, like any line that fails to parse.  Everything readable
+    before it is kept.
+    """
+    path = Path(path)
+    result = JournalReplay()
+    if not path.is_file():
+        return result
+    result.bytes_read = path.stat().st_size
+    for line in _iter_lines(path):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if not line.endswith("\n"):
+            # torn tail: the writer died mid-line
+            result.malformed += 1
+            continue
+        try:
+            event = json.loads(stripped)
+        except ValueError:
+            result.malformed += 1
+            continue
+        if not isinstance(event, dict):
+            result.malformed += 1
+            continue
+        result.events.append(event)
+    return result

@@ -1,10 +1,12 @@
 """Structured logging for the repro toolchain.
 
-One ``repro`` logger hierarchy, one line-oriented ``key=value`` format,
-one switch: ``repro --log-level debug`` (or the ``REPRO_LOG`` environment
-variable; the flag wins).  Long-running commands (``repro serve``) default
-to ``info`` so access logs appear; one-shot commands default to ``warning``
-so pipeline output stays clean.
+One ``repro`` logger hierarchy, two line-oriented formats — human-first
+``key=value`` (the default) and machine-first JSON lines for log shippers —
+and two switches: ``repro --log-level debug`` (or the ``REPRO_LOG``
+environment variable; the flag wins) and ``repro --log-format json`` (or
+``REPRO_LOG_FORMAT``).  Long-running commands (``repro serve``) default to
+``info`` so access logs appear; one-shot commands default to ``warning`` so
+pipeline output stays clean.
 
 Usage::
 
@@ -12,19 +14,28 @@ Usage::
     log = get_logger("serve")
     log.info("request", method="GET", target="/v1/healthz", status=200)
 
-Keyword arguments become ``key=value`` pairs appended to the message —
-values containing spaces are quoted so lines stay machine-splittable.
+Keyword arguments become structured fields: ``key=value`` pairs appended to
+the message in text mode (values containing spaces are quoted so lines stay
+machine-splittable), top-level keys of the object in JSON mode — the same
+fields either way, only the rendering changes.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 import sys
 import time
 from typing import Optional
 
-__all__ = ["configure", "get_logger", "resolve_level", "StructuredLoggerAdapter"]
+__all__ = [
+    "configure",
+    "get_logger",
+    "resolve_format",
+    "resolve_level",
+    "StructuredLoggerAdapter",
+]
 
 _ROOT_NAME = "repro"
 
@@ -36,6 +47,8 @@ _LEVELS = {
     "critical": logging.CRITICAL,
 }
 
+_FORMATS = ("text", "json")
+
 
 class _LineFormatter(logging.Formatter):
     """``HH:MM:SS.mmm LEVEL logger message key=value ...`` — UTC, fixed width."""
@@ -44,26 +57,60 @@ class _LineFormatter(logging.Formatter):
 
     def format(self, record: logging.LogRecord) -> str:
         stamp = self.formatTime(record, "%H:%M:%S")
+        message = record.getMessage()
+        fields = getattr(record, "repro_fields", None)
+        if fields:
+            pairs = " ".join(f"{k}={_render_value(v)}" for k, v in fields.items())
+            message = f"{message} {pairs}" if message else pairs
         line = (
             f"{stamp}.{int(record.msecs):03d} "
-            f"{record.levelname.lower():<7} {record.name} {record.getMessage()}"
+            f"{record.levelname.lower():<7} {record.name} {message}"
         )
         if record.exc_info:
             line = f"{line}\n{self.formatException(record.exc_info)}"
         return line
 
 
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts/level/logger/message plus the fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "repro_fields", None)
+        if fields:
+            for key, value in fields.items():
+                # The envelope keys win on collision; a field named "level"
+                # must not be able to forge the record's severity.
+                if key not in payload:
+                    payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, separators=(",", ":"))
+
+
 class StructuredLoggerAdapter(logging.LoggerAdapter):
-    """Appends keyword arguments to the message as ``key=value`` pairs."""
+    """Carries keyword arguments as structured fields on the record.
+
+    Fields ride in ``record.repro_fields`` so each formatter renders them
+    its own way (``key=value`` text, JSON object keys) from the same call.
+    """
 
     def log(self, level: int, msg: object, *args: object, **kwargs: object) -> None:
         if not self.logger.isEnabledFor(level):
             return
         exc_info = kwargs.pop("exc_info", None)
-        if kwargs:
-            pairs = " ".join(f"{k}={_render_value(v)}" for k, v in kwargs.items())
-            msg = f"{msg} {pairs}" if msg else pairs
-        self.logger.log(level, msg, *args, exc_info=exc_info)  # type: ignore[arg-type]
+        self.logger.log(
+            level,
+            msg,
+            *args,
+            exc_info=exc_info,  # type: ignore[arg-type]
+            extra={"repro_fields": kwargs},
+        )
 
     def debug(self, msg: object = "", *args: object, **kwargs: object) -> None:
         self.log(logging.DEBUG, msg, *args, **kwargs)
@@ -98,18 +145,32 @@ def resolve_level(flag: Optional[str] = None, default: str = "warning") -> int:
         raise ValueError(f"unknown log level {name!r} (expected one of: {valid})")
 
 
-def configure(level: int = logging.WARNING, stream=None) -> logging.Logger:
+def resolve_format(flag: Optional[str] = None, default: str = "text") -> str:
+    """Pick the format: ``--log-format`` flag > ``REPRO_LOG_FORMAT`` > default."""
+    name = (flag or os.environ.get("REPRO_LOG_FORMAT") or default).strip().lower()
+    if name not in _FORMATS:
+        valid = ", ".join(_FORMATS)
+        raise ValueError(f"unknown log format {name!r} (expected one of: {valid})")
+    return name
+
+
+def configure(
+    level: int = logging.WARNING, stream=None, fmt: str = "text"
+) -> logging.Logger:
     """Set up the ``repro`` logger hierarchy; idempotent and reconfigurable.
 
     Logs go to stderr so stdout stays parseable (JSON output, metric
-    tables).  Calling again replaces the handler and level — the CLI calls
-    this once per invocation, tests call it with a capture stream.
+    tables).  Calling again replaces the handler, level, and format — the
+    CLI calls this once per invocation, tests call it with a capture stream.
     """
+    if fmt not in _FORMATS:
+        valid = ", ".join(_FORMATS)
+        raise ValueError(f"unknown log format {fmt!r} (expected one of: {valid})")
     root = logging.getLogger(_ROOT_NAME)
     for handler in list(root.handlers):
         root.removeHandler(handler)
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
-    handler.setFormatter(_LineFormatter())
+    handler.setFormatter(_JsonFormatter() if fmt == "json" else _LineFormatter())
     root.addHandler(handler)
     root.setLevel(level)
     root.propagate = False

@@ -9,8 +9,8 @@ scenario actually spend its time" before anyone starts optimizing.
 from __future__ import annotations
 
 import cProfile
-from dataclasses import dataclass
-from typing import Any, Callable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["Hotspot", "ProfileRun", "profile_call", "hotspot_table"]
 
@@ -33,6 +33,17 @@ class ProfileRun:
     hotspots: List[Hotspot]
     total_calls: int
     total_seconds: float
+    #: the underlying profiler, kept so callers can dump raw pstats data
+    #: (``repro profile --raw``) for snakeviz/gprof2dot-style tooling
+    profiler: Optional[cProfile.Profile] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def dump_stats(self, path: str) -> None:
+        """Write the raw pstats dump (the ``python -m pstats`` format)."""
+        if self.profiler is None:
+            raise ValueError("this ProfileRun was built without its profiler")
+        self.profiler.dump_stats(path)
 
 
 def _function_label(key: Tuple[str, int, str]) -> str:
@@ -70,6 +81,7 @@ def profile_call(func: Callable[[], Any], top: int = 25) -> ProfileRun:
         hotspots=hotspots[:top],
         total_calls=total_calls,
         total_seconds=total_seconds,
+        profiler=profiler,
     )
 
 

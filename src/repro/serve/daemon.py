@@ -25,6 +25,7 @@ from http import HTTPStatus
 from typing import Optional, Tuple
 
 from repro.bench.store import ResultStore
+from repro.obs.journal import JobJournal
 from repro.obs.log import get_logger
 from repro.serve.service import EvaluationService, Response
 
@@ -54,6 +55,10 @@ class ServeConfig:
     #: result-store directory (None = $REPRO_BENCH_STORE or the default)
     store: Optional[str] = None
     use_cache: bool = True
+    #: job-journal path (None = ``<store>/journal.jsonl``)
+    journal: Optional[str] = None
+    #: disable the journal entirely (no persistence, no replay)
+    use_journal: bool = True
 
 
 class ReproServer:
@@ -61,13 +66,23 @@ class ReproServer:
 
     def __init__(self, config: ServeConfig) -> None:
         self.config = config
+        store = ResultStore(config.store) if config.store else ResultStore()
+        journal = None
+        if config.use_journal:
+            # Default next to the results it indexes: wiping the store also
+            # wipes the journal's claims about what that store contains.
+            path = config.journal or str(store.root / "journal.jsonl")
+            journal = JobJournal(path)
         self.service = EvaluationService(
-            store=ResultStore(config.store) if config.store else None,
+            store=store,
             workers=config.workers,
             queue_limit=config.queue_limit,
             run_workers=config.run_workers,
             use_cache=config.use_cache,
+            journal=journal,
         )
+        if journal is not None and self.service.replay_stats["events"]:
+            log.info("journal-replayed", path=str(journal.path), **self.service.replay_stats)
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> Tuple[str, int]:
@@ -168,12 +183,28 @@ class ReproServer:
             f"HTTP/1.1 {response.status} {phrase}",
             f"Server: {SERVER_NAME}",
             f"Content-Type: {response.content_type}",
-            f"Content-Length: {len(response.body)}",
-            "Connection: close",
         ]
+        if response.stream is None:
+            lines.append(f"Content-Length: {len(response.body)}")
+        else:
+            # A streamed body has no length up front: chunked transfer
+            # encoding lets each event flush as its own chunk.
+            lines.append("Transfer-Encoding: chunked")
+        lines.append("Connection: close")
         lines.extend(f"{key}: {value}" for key, value in response.headers.items())
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-        writer.write(head + response.body)
+        if response.stream is None:
+            writer.write(head + response.body)
+            await writer.drain()
+            return
+        writer.write(head)
+        await writer.drain()
+        async for chunk in response.stream:
+            if not chunk:
+                continue  # an empty chunk would terminate the stream early
+            writer.write(f"{len(chunk):x}\r\n".encode("latin-1") + chunk + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
         await writer.drain()
 
 

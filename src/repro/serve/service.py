@@ -34,16 +34,18 @@ import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
 
 from repro.api.registry import RegistryError, parse_spec, scheduler_registry
 from repro.api.scenario import Scenario
 from repro.bench.runner import _expand, _trace_extra, run_suite
 from repro.bench.store import ResultStore, StoredResult, code_version, result_key
+from repro.obs.journal import JobJournal, replay as replay_journal
 from repro.bench.suite import BenchmarkSuite, get_suite
 from repro.obs.prometheus import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
 from repro.obs.prometheus import render as _render_prometheus
 from repro.obs.telemetry import Telemetry
+from repro.obs.trace import Tracer, chrome_trace
 from repro.serve.html import render_report
 from repro.util import canonical_hash
 
@@ -80,12 +82,18 @@ class ServiceDraining(RuntimeError):
 # ----------------------------------------------------------------------
 @dataclass
 class Response:
-    """One HTTP response: status, body, and any extra headers."""
+    """One HTTP response: status, body, and any extra headers.
+
+    A response may instead carry ``stream`` — an async iterator of body
+    chunks (the events endpoint).  The daemon then writes chunked transfer
+    encoding and ``body`` is ignored.
+    """
 
     status: int
     body: bytes = b""
     content_type: str = "application/json"
     headers: Dict[str, str] = field(default_factory=dict)
+    stream: Optional[AsyncIterator[bytes]] = None
 
 
 def json_response(status: int, payload: Any, **headers: str) -> Response:
@@ -118,6 +126,9 @@ class Evaluation:
     scenario: Optional[Scenario] = None
     #: non-scenario key material (trace digests) for the scenario kind
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: the normalized submission body — journaled so a restarted daemon can
+    #: re-resolve (and re-validate) the job without trusting stale state
+    submission: Dict[str, Any] = field(default_factory=dict)
 
 
 def resolve_submission(payload: Any) -> Evaluation:
@@ -148,6 +159,7 @@ def resolve_submission(payload: Any) -> Evaluation:
             digest=digest,
             total=len(keys),
             suite=suite,
+            submission={"suite": suite.name},
         )
     if "scenario" in payload:
         if not isinstance(payload["scenario"], dict):
@@ -168,6 +180,7 @@ def resolve_submission(payload: Any) -> Evaluation:
             total=1,
             scenario=scenario,
             extra=extra,
+            submission={"scenario": scenario.to_dict()},
         )
     raise SubmissionError("submission must contain 'suite' or 'scenario'")
 
@@ -188,6 +201,11 @@ class Job:
     cache_hits: int = 0
     cache_misses: int = 0
     error: Optional[str] = None
+    #: lifecycle/progress events in arrival order (what /events streams);
+    #: appended from the event loop and executor threads, read by streamers
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    #: True when the job was reconstructed from the journal at boot
+    replayed: bool = False
 
     @property
     def digest(self) -> str:
@@ -208,8 +226,13 @@ class Job:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
             },
-            "links": {"self": f"/v1/runs/{self.digest}"},
+            "links": {
+                "self": f"/v1/runs/{self.digest}",
+                "events": f"/v1/runs/{self.digest}/events",
+            },
         }
+        if self.replayed:
+            info["replayed"] = True
         if self.error is not None:
             info["error"] = self.error
         if self.state == DONE:
@@ -232,6 +255,8 @@ class EvaluationService:
         run_workers: Optional[int] = None,
         use_cache: bool = True,
         retry_after_seconds: int = 5,
+        journal: Optional[JobJournal] = None,
+        max_trace_spans: int = 4096,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -254,9 +279,121 @@ class EvaluationService:
         #: Only ever touched from the event-loop thread (request routing and
         #: post-await job accounting), so no locking is needed.
         self.telemetry = Telemetry()
+        #: bounded service-lifetime timeline behind ``GET /v1/trace`` —
+        #: retroactive spans for requests and job lifecycles
+        self.tracer = Tracer(max_spans=max_trace_spans)
+        #: append-only lifecycle journal (None = don't persist)
+        self.journal = journal
+        #: what replaying the journal at boot found (always present so
+        #: healthz/metrics report zeros rather than omitting the fields)
+        self.replay_stats: Dict[str, int] = {
+            "events": 0,
+            "malformed": 0,
+            "bytes_read": 0,
+            "jobs_restored": 0,
+            "jobs_skipped": 0,
+        }
         self._queue: Optional[asyncio.Queue] = None
         self._worker_tasks: List[asyncio.Task] = []
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: rotated on every new event; streamers await the current one
+        self._event_waiter: Optional[asyncio.Event] = None
+        if self.journal is not None:
+            self._replay_journal()
+
+    # ------------------------------------------------------------------
+    # the job journal: recording and boot-time replay
+    # ------------------------------------------------------------------
+    def _record_event(self, job: Job, event: str, durable: bool = False, **fields: Any) -> None:
+        """Append one lifecycle event: journal (if any), job, stream waiters.
+
+        Called from the event loop *and* from executor threads (progress);
+        the journal locks internally, list appends are atomic, and waiter
+        wake-ups are marshalled onto the loop.
+        """
+        record: Dict[str, Any] = {"event": event, "digest": job.digest, **fields}
+        if self.journal is not None:
+            record = self.journal.append(record, durable=durable)
+        else:
+            record.setdefault("ts", round(time.time(), 6))
+        job.events.append(record)
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._notify_event)
+            except RuntimeError:  # loop already closed (late progress)
+                pass
+
+    def _notify_event(self) -> None:
+        """Wake every event streamer: rotate the shared waiter."""
+        if self._event_waiter is not None:
+            waiter, self._event_waiter = self._event_waiter, asyncio.Event()
+            waiter.set()
+
+    def _replay_journal(self) -> None:
+        """Rebuild finished jobs from the journal (crash/restart recovery).
+
+        Only digests whose *last* lifecycle state is ``done`` come back: a
+        job interrupted mid-run was never answered, so a resubmission must
+        run it again rather than coalesce onto a ghost.  Each candidate is
+        re-resolved from its journaled submission and kept only when the
+        digest still matches — entries minted by an older code version are
+        stale and skipped.  Result payloads are rebuilt lazily from the
+        content-addressed store on first request (zero simulation while the
+        store is intact).
+        """
+        replayed = replay_journal(self.journal.path)
+        self.replay_stats.update(
+            events=len(replayed.events),
+            malformed=replayed.malformed,
+            bytes_read=replayed.bytes_read,
+        )
+        for digest, events in replayed.by_digest().items():
+            lifecycle = [e for e in events if e.get("event") in (QUEUED, RUNNING, DONE, FAILED)]
+            if not lifecycle or lifecycle[-1].get("event") != DONE:
+                continue
+            submission = next(
+                (e.get("submission") for e in reversed(events)
+                 if e.get("event") == QUEUED and isinstance(e.get("submission"), dict)),
+                None,
+            )
+            if submission is None:
+                self.replay_stats["jobs_skipped"] += 1
+                continue
+            try:
+                evaluation = resolve_submission(submission)
+            except SubmissionError:
+                self.replay_stats["jobs_skipped"] += 1
+                continue
+            if evaluation.digest != digest:
+                # same submission, different digest: the code moved on
+                self.replay_stats["jobs_skipped"] += 1
+                continue
+            done = lifecycle[-1]
+            job = Job(evaluation=evaluation, state=DONE, replayed=True)
+            job.submitted_at = float(lifecycle[0].get("ts") or job.submitted_at)
+            started = next(
+                (e.get("ts") for e in lifecycle if e.get("event") == RUNNING), None
+            )
+            job.started_at = float(started) if started is not None else None
+            job.finished_at = float(done.get("ts") or job.submitted_at)
+            job.done_units = evaluation.total
+            job.cache_hits = int(done.get("cache_hits") or 0)
+            job.cache_misses = int(done.get("cache_misses") or 0)
+            job.events = list(events)
+            self.jobs[digest] = job
+            self.replay_stats["jobs_restored"] += 1
+
+    def _rebuild_payload(self, job: Job) -> Dict[str, Any]:
+        """Re-derive a replayed job's payload from the warm store.
+
+        With the store intact this is pure cache lookups; if entries were
+        evicted in between, the affected cases re-run — correctness over
+        speed, and the journal never lies about what finished.
+        """
+        payload = self._execute(job, record_progress=False)
+        self.results[job.digest] = payload
+        return payload
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -265,6 +402,8 @@ class EvaluationService:
         """Create the admission queue and the worker tasks (idempotent)."""
         if self._queue is not None:
             return
+        self._loop = asyncio.get_running_loop()
+        self._event_waiter = asyncio.Event()
         self._queue = asyncio.Queue()
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve"
@@ -283,6 +422,8 @@ class EvaluationService:
         """
         self.draining = True
         if self._queue is None:
+            if self.journal is not None:
+                self.journal.close()
             return
         await self._queue.join()
         for task in self._worker_tasks:
@@ -291,6 +432,10 @@ class EvaluationService:
         self._worker_tasks = []
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        # One last wake-up so event streamers observe the terminal states.
+        self._notify_event()
+        if self.journal is not None:
+            self.journal.close()
 
     # ------------------------------------------------------------------
     # admission
@@ -320,6 +465,14 @@ class EvaluationService:
         job = Job(evaluation=evaluation)
         self.jobs[evaluation.digest] = job
         self.stats["submitted"] += 1
+        self._record_event(
+            job,
+            QUEUED,
+            kind=evaluation.kind,
+            label=evaluation.label,
+            total=evaluation.total,
+            submission=evaluation.submission,
+        )
         self._queue.put_nowait(job)
         return job, True
 
@@ -334,6 +487,7 @@ class EvaluationService:
                 job.state = RUNNING
                 job.started_at = time.time()
                 self.stats["executed"] += 1
+                self._record_event(job, RUNNING)
                 payload = await loop.run_in_executor(
                     self._executor, self._execute, job
                 )
@@ -346,23 +500,61 @@ class EvaluationService:
                 job.state = FAILED
             finally:
                 job.finished_at = time.time()
-                self.telemetry.counter(
-                    "repro_jobs_total", "Jobs finished, by kind and final state."
-                ).inc(kind=job.evaluation.kind, state=job.state)
-                self.telemetry.histogram(
-                    "repro_job_seconds",
-                    help_text="Wall-clock job execution latency (queue wait excluded).",
-                ).observe(
-                    job.finished_at - (job.started_at or job.finished_at),
-                    kind=job.evaluation.kind,
-                )
+                self._finish_job(job)
                 self._queue.task_done()
 
-    def _execute(self, job: Job) -> Dict[str, Any]:
-        """Run one job in the executor thread; returns the result payload."""
+    def _finish_job(self, job: Job) -> None:
+        """Terminal accounting: durable journal event, metrics, timeline."""
+        finished = job.finished_at or time.time()
+        terminal: Dict[str, Any] = {
+            "cache_hits": job.cache_hits,
+            "cache_misses": job.cache_misses,
+            "seconds": round(finished - (job.started_at or finished), 6),
+        }
+        if job.error is not None:
+            terminal["error"] = job.error
+        # Terminal states fsync immediately: a crash right after must not
+        # forget that the job finished.
+        self._record_event(job, job.state, durable=True, **terminal)
+        self.telemetry.counter(
+            "repro_jobs_total", "Jobs finished, by kind and final state."
+        ).inc(kind=job.evaluation.kind, state=job.state)
+        self.telemetry.histogram(
+            "repro_job_seconds",
+            help_text="Wall-clock job execution latency (queue wait excluded).",
+        ).observe(
+            finished - (job.started_at or finished),
+            kind=job.evaluation.kind,
+        )
+        # The job's lifecycle, retroactively, onto the service timeline:
+        # one parent span submitted→finished with queued/run phases inside.
+        parent = self.tracer.add_span(
+            "serve.job",
+            job.submitted_at,
+            finished,
+            digest=job.digest,
+            kind=job.evaluation.kind,
+            label=job.evaluation.label,
+            state=job.state,
+        )
+        started = job.started_at or finished
+        self.tracer.add_span(
+            "serve.job.queued", job.submitted_at, started, parent_id=parent
+        )
+        self.tracer.add_span("serve.job.run", started, finished, parent_id=parent)
+
+    def _execute(self, job: Job, record_progress: bool = True) -> Dict[str, Any]:
+        """Run one job in the executor thread; returns the result payload.
+
+        ``record_progress=False`` is the payload-rebuild path for replayed
+        jobs: their counters and events are already final, so the re-derive
+        must not touch them.
+        """
         evaluation = job.evaluation
 
         def progress(done: int, total: int, cached: bool) -> None:
+            if not record_progress:
+                return
             # Plain attribute writes: read by the event-loop thread for
             # status responses, which tolerates slight staleness.
             job.done_units = done
@@ -370,6 +562,15 @@ class EvaluationService:
                 job.cache_hits += 1
             else:
                 job.cache_misses += 1
+            self._record_event(
+                job,
+                "progress",
+                done=done,
+                total=total,
+                cached=cached,
+                cache_hits=job.cache_hits,
+                cache_misses=job.cache_misses,
+            )
 
         if evaluation.kind == "suite":
             result = run_suite(
@@ -433,9 +634,11 @@ class EvaluationService:
         Digests and job ids are collapsed into placeholders so the metric
         label set stays finite no matter how many runs the daemon serves.
         """
-        if path in ("/v1/healthz", "/v1/metrics", "/v1/runs"):
+        if path in ("/v1/healthz", "/v1/metrics", "/v1/runs", "/v1/trace"):
             return path
         if path.startswith("/v1/runs/"):
+            if path.endswith("/events"):
+                return "/v1/runs/{id}/events"
             return "/v1/runs/{id}"
         if path.startswith("/v1/results/"):
             return "/v1/results/{digest}"
@@ -457,6 +660,7 @@ class EvaluationService:
         requests that finished before it — never itself.
         """
         started = time.perf_counter()
+        wall_started = time.time()
         route = self._route_template(path.split("?", 1)[0])
         in_flight = self.telemetry.gauge(
             "repro_http_in_flight", "Requests currently being handled."
@@ -475,6 +679,14 @@ class EvaluationService:
             "repro_http_request_seconds",
             help_text="HTTP request handling latency by method and route template.",
         ).observe(elapsed, method=method, route=route)
+        self.tracer.add_span(
+            "serve.request",
+            wall_started,
+            wall_started + elapsed,
+            method=method,
+            route=route,
+            status=response.status,
+        )
         return response
 
     def _route(
@@ -490,11 +702,15 @@ class EvaluationService:
             return self._healthz()
         if path == "/v1/metrics" and method == "GET":
             return self._metrics()
+        if path == "/v1/trace" and method == "GET":
+            return self._handle_trace()
         if path == "/v1/runs":
             if method == "POST":
                 return self._handle_submit(body)
             if method == "GET":
                 return self._handle_list()
+        if path.startswith("/v1/runs/") and path.endswith("/events") and method == "GET":
+            return self._handle_events(path[len("/v1/runs/"):-len("/events")])
         if path.startswith("/v1/runs/") and method == "GET":
             return self._handle_status(path[len("/v1/runs/"):])
         if path.startswith("/v1/results/") and method == "GET":
@@ -510,6 +726,14 @@ class EvaluationService:
         for job in self.jobs.values():
             by_state[job.state] = by_state.get(job.state, 0) + 1
         busy = by_state.get(RUNNING, 0)
+        journal: Optional[Dict[str, Any]] = None
+        if self.journal is not None:
+            journal = {
+                "path": str(self.journal.path),
+                "size_bytes": self.journal.size_bytes(),
+                "events_appended": self.journal.appended,
+                "replay": dict(self.replay_stats),
+            }
         return json_response(
             200,
             {
@@ -525,6 +749,7 @@ class EvaluationService:
                 "jobs": by_state,
                 "stats": self.stats,
                 "store": str(self.store.root),
+                "journal": journal,
             },
         )
 
@@ -552,11 +777,30 @@ class EvaluationService:
         )
         for outcome, value in sorted(self.stats.items()):
             submissions.set(value, outcome=outcome)
+        if self.journal is not None:
+            t.gauge(
+                "repro_journal_size_bytes", "On-disk size of the job journal."
+            ).set(self.journal.size_bytes())
+            t.gauge(
+                "repro_journal_events_appended",
+                "Journal events appended since this process started.",
+            ).set(self.journal.appended)
+            replay = t.gauge(
+                "repro_journal_replay",
+                "What replaying the journal at boot found "
+                "(events, malformed, bytes_read, jobs_restored, jobs_skipped).",
+            )
+            for stat, value in sorted(self.replay_stats.items()):
+                replay.set(value, stat=stat)
         return Response(
             status=200,
             body=_render_prometheus(t).encode("utf-8"),
             content_type=_PROMETHEUS_CONTENT_TYPE,
         )
+
+    def _handle_trace(self) -> Response:
+        """The service timeline (requests + job lifecycles) as Chrome trace JSON."""
+        return json_response(200, chrome_trace(self.tracer, process_name="repro-serve"))
 
     def _handle_submit(self, body: bytes) -> Response:
         try:
@@ -589,6 +833,43 @@ class EvaluationService:
             return json_response(404, {"error": f"no run {digest!r}"})
         return json_response(200, job.to_dict())
 
+    def _handle_events(self, digest: str) -> Response:
+        """Stream a run's lifecycle events as NDJSON until it terminates.
+
+        Chunked streaming of everything the job has journaled so far, then
+        live events as they happen; the stream closes after the terminal
+        (done/failed) event, so ``curl`` exits by itself.
+        """
+        job = self.jobs.get(digest)
+        if job is None:
+            return json_response(404, {"error": f"no run {digest!r}"})
+        return Response(
+            status=200,
+            content_type="application/x-ndjson",
+            stream=self._stream_events(job),
+        )
+
+    async def _stream_events(self, job: Job) -> AsyncIterator[bytes]:
+        index = 0
+        while True:
+            # Grab the waiter *before* draining: an event arriving between
+            # the drain and the await still sets this instance.
+            waiter = self._event_waiter
+            while index < len(job.events):
+                line = json.dumps(job.events[index], sort_keys=True) + "\n"
+                yield line.encode("utf-8")
+                index += 1
+            if job.state in (DONE, FAILED) and index >= len(job.events):
+                return
+            if waiter is None:  # service not started; nothing can arrive
+                return
+            try:
+                # The timeout is a backstop (e.g. a worker that died without
+                # notifying); the waiter is the real wake-up.
+                await asyncio.wait_for(asyncio.shield(waiter.wait()), timeout=1.0)
+            except asyncio.TimeoutError:
+                pass
+
     def _finished_payload(self, digest: str) -> Optional[Response]:
         """A 404 explaining why ``digest`` has no result yet, or None."""
         if digest in self.results:
@@ -596,6 +877,11 @@ class EvaluationService:
         job = self.jobs.get(digest)
         if job is None:
             return json_response(404, {"error": f"no result {digest!r}"})
+        if job.state == DONE:
+            # A journal-replayed job: the payload was not carried across the
+            # restart, but the store was — re-derive it on first request.
+            self._rebuild_payload(job)
+            return None
         return json_response(
             404,
             {

@@ -1,0 +1,165 @@
+"""Tests for perf-trend gating: comparison logic, loaders, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.trend import (
+    IMPROVED,
+    OK,
+    REGRESSION,
+    SKIPPED,
+    compare_timings,
+    load_timings,
+    trend_json,
+    trend_markdown,
+)
+from repro.cli import main
+
+
+def statuses(report):
+    return {p.phase: p.status for p in report.phases}
+
+
+class TestCompareTimings:
+    def test_within_tolerance_is_ok(self):
+        report = compare_timings({"simulate": 1.0}, {"simulate": 1.4}, tolerance=0.5)
+        assert statuses(report) == {"simulate": OK}
+        assert report.ok and report.exit_code() == 0
+
+    def test_regression_needs_both_thresholds(self):
+        base = {"simulate": 1.0, "tiny": 0.001}
+        # simulate blows the ratio AND the absolute floor -> regression;
+        # tiny doubles (ratio fails) but moves only 1ms -> under the floor.
+        current = {"simulate": 2.0, "tiny": 0.002}
+        report = compare_timings(base, current, tolerance=0.5, min_seconds=0.005)
+        assert statuses(report) == {"simulate": REGRESSION, "tiny": OK}
+        assert report.exit_code() == 1
+        assert [p.phase for p in report.regressions] == ["simulate"]
+
+    def test_large_delta_within_ratio_is_ok(self):
+        report = compare_timings(
+            {"simulate": 10.0}, {"simulate": 12.0}, tolerance=0.5, min_seconds=0.005
+        )
+        assert statuses(report) == {"simulate": OK}
+
+    def test_improvement_is_informational(self):
+        report = compare_timings(
+            {"simulate": 2.0}, {"simulate": 0.5}, tolerance=0.5, min_seconds=0.005
+        )
+        assert statuses(report) == {"simulate": IMPROVED}
+        assert report.exit_code() == 0
+
+    def test_one_sided_phases_are_skipped(self):
+        report = compare_timings({"old": 1.0}, {"new": 1.0})
+        assert statuses(report) == {"new": SKIPPED, "old": SKIPPED}
+        assert report.exit_code() == 0
+
+    def test_phases_sorted_by_name(self):
+        report = compare_timings({"b": 1.0, "a": 1.0}, {"c": 1.0, "a": 1.0})
+        assert [p.phase for p in report.phases] == ["a", "b", "c"]
+
+    def test_ratio_undefined_for_zero_baseline(self):
+        report = compare_timings({"warm": 0.0}, {"warm": 0.001})
+        (phase,) = report.phases
+        assert phase.ratio is None and phase.delta == pytest.approx(0.001)
+
+    def test_negative_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            compare_timings({}, {}, tolerance=-0.1)
+        with pytest.raises(ValueError):
+            compare_timings({}, {}, min_seconds=-1)
+
+
+class TestLoadTimings:
+    def test_bench_trajectory_file_uses_cold_timings(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({
+            "benchmark": "bench_smoke",
+            "cold_timings": {"simulate_seconds": 1.0},
+            "warm_seconds": 0.1,
+        }))
+        timings, label = load_timings(path)
+        assert timings == {"simulate_seconds": 1.0}
+        assert label == "bench_smoke (cold)"
+
+    def test_suite_dump_uses_timings(self, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps({"suite": "smoke", "timings": {"total_seconds": 2.0}}))
+        timings, label = load_timings(path)
+        assert timings == {"total_seconds": 2.0} and label == "smoke"
+
+    def test_bare_dict_labelled_by_filename(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps({"simulate": 3}))
+        timings, label = load_timings(path)
+        assert timings == {"simulate": 3.0} and label == "bare.json"
+
+    @pytest.mark.parametrize("payload", [
+        "[1, 2]",                       # not an object
+        '{"simulate": "fast"}',         # non-numeric timing
+        '{"simulate": true}',           # bool is not a timing
+        '{"simulate": Infinity}',       # non-finite
+        "{}",                           # empty
+    ])
+    def test_bad_payloads_rejected(self, tmp_path, payload):
+        path = tmp_path / "bad.json"
+        path.write_text(payload)
+        with pytest.raises(ValueError):
+            load_timings(path)
+
+
+class TestRendering:
+    def test_markdown_has_verdict_and_dashes_for_missing(self):
+        report = compare_timings({"a": 1.0}, {"a": 2.0, "b": 1.0}, min_seconds=0.005)
+        text = trend_markdown(report)
+        assert "1 regression(s): a" in text
+        assert "—" in text  # b has no baseline column
+
+    def test_json_summarises_status(self):
+        bad = trend_json(compare_timings({"a": 1.0}, {"a": 9.0}))
+        good = trend_json(compare_timings({"a": 1.0}, {"a": 1.0}))
+        assert bad["status"] == REGRESSION and bad["regressions"] == 1
+        assert good["status"] == OK and good["regressions"] == 0
+
+
+class TestTrendCli:
+    def _write(self, path, timings):
+        path.write_text(json.dumps(timings))
+        return str(path)
+
+    def test_no_regression_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", {"simulate": 1.0})
+        cur = self._write(tmp_path / "cur.json", {"simulate": 1.1})
+        assert main(["bench", "trend", "--baseline", base, "--current", cur]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", {"simulate": 1.0})
+        cur = self._write(tmp_path / "cur.json", {"simulate": 5.0})
+        assert main(["bench", "trend", "--baseline", base, "--current", cur]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_requires_exactly_one_current_source(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", {"simulate": 1.0})
+        assert main(["bench", "trend", "--baseline", base]) == 2
+        cur = self._write(tmp_path / "cur.json", {"simulate": 1.0})
+        assert main(["bench", "trend", "--baseline", base,
+                     "--current", cur, "--suite", "smoke"]) == 2
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        cur = self._write(tmp_path / "cur.json", {"simulate": 1.0})
+        assert main(["bench", "trend", "--baseline", str(tmp_path / "none.json"),
+                     "--current", cur]) == 2
+
+    def test_writes_markdown_and_json_outputs(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", {"simulate": 1.0})
+        cur = self._write(tmp_path / "cur.json", {"simulate": 1.1})
+        md = tmp_path / "trend.md"
+        js = tmp_path / "trend.json"
+        assert main(["bench", "trend", "--baseline", base, "--current", cur,
+                     "--markdown", str(md), "--json", str(js)]) == 0
+        assert "Perf trend" in md.read_text()
+        assert json.loads(js.read_text())["status"] == OK

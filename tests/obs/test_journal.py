@@ -1,0 +1,99 @@
+"""Tests for the job journal: appends, durability, tolerant replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.journal import JobJournal, replay
+
+
+class TestAppend:
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path, clock=lambda: 12.0) as journal:
+            journal.append({"event": "queued", "digest": "abc"})
+            journal.append({"event": "done", "digest": "abc"}, durable=True)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"event": "queued", "digest": "abc", "ts": 12.0}
+
+    def test_append_stamps_ts_only_when_missing(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", clock=lambda: 5.0)
+        record = journal.append({"event": "x", "ts": 1.5})
+        journal.close()
+        assert record["ts"] == 1.5
+
+    def test_appended_counter_and_size(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        assert journal.size_bytes() == 0
+        journal.append({"event": "a"})
+        journal.append({"event": "b"})
+        assert journal.appended == 2
+        assert journal.size_bytes() > 0
+        journal.close()
+
+    def test_batch_size_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            JobJournal(tmp_path / "j.jsonl", batch_size=0)
+
+    def test_flushed_lines_visible_before_close(self, tmp_path):
+        # A tailing reader must see every event even mid-batch.
+        path = tmp_path / "j.jsonl"
+        journal = JobJournal(path, batch_size=100)
+        journal.append({"event": "early"})
+        assert "early" in path.read_text()
+        journal.close()
+
+
+class TestReplay:
+    def test_missing_file_is_empty(self, tmp_path):
+        result = replay(tmp_path / "never-written.jsonl")
+        assert result.events == [] and result.malformed == 0
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JobJournal(path, clock=lambda: 1.0) as journal:
+            for i in range(3):
+                journal.append({"event": "e", "digest": f"d{i}"})
+        result = replay(path)
+        assert len(result.events) == 3 and result.malformed == 0
+        assert result.bytes_read == path.stat().st_size
+
+    def test_torn_final_line_counted_not_fatal(self, tmp_path):
+        # Simulated crash mid-write: the tail line has no newline.
+        path = tmp_path / "j.jsonl"
+        with JobJournal(path, clock=lambda: 1.0) as journal:
+            journal.append({"event": "queued", "digest": "a"})
+            journal.append({"event": "done", "digest": "a"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "running", "digest"')
+        result = replay(path)
+        assert len(result.events) == 2
+        assert result.malformed == 1
+
+    def test_corrupt_and_non_dict_lines_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"event": "ok"}\n'
+            "not json at all\n"
+            "[1, 2, 3]\n"
+            "\n"
+            '{"event": "also ok"}\n'
+        )
+        result = replay(path)
+        assert [e["event"] for e in result.events] == ["ok", "also ok"]
+        assert result.malformed == 2  # blank line is skipped silently
+
+    def test_by_digest_groups_in_order(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JobJournal(path, clock=lambda: 1.0) as journal:
+            journal.append({"event": "queued", "digest": "a"})
+            journal.append({"event": "queued", "digest": "b"})
+            journal.append({"event": "done", "digest": "a"})
+            journal.append({"event": "no-digest"})
+        grouped = replay(path).by_digest()
+        assert list(grouped) == ["a", "b"]
+        assert [e["event"] for e in grouped["a"]] == ["queued", "done"]

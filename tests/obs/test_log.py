@@ -1,13 +1,14 @@
-"""Tests for the structured logger: level resolution and line format."""
+"""Tests for the structured logger: level resolution, line and JSON formats."""
 
 from __future__ import annotations
 
 import io
+import json
 import logging
 
 import pytest
 
-from repro.obs.log import configure, get_logger, resolve_level
+from repro.obs.log import configure, get_logger, resolve_format, resolve_level
 
 
 class TestResolveLevel:
@@ -66,3 +67,74 @@ class TestStructuredLines:
         get_logger("x").warning("loud")
         output = stream.getvalue()
         assert "quiet" not in output and "loud" in output
+
+
+class TestResolveFormat:
+    def test_flag_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_FORMAT", "text")
+        assert resolve_format("json") == "json"
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_FORMAT", "json")
+        assert resolve_format(None) == "json"
+
+    def test_default_when_nothing_set(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_FORMAT", raising=False)
+        assert resolve_format(None) == "text"
+
+    def test_unknown_format_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_FORMAT", raising=False)
+        with pytest.raises(ValueError):
+            resolve_format("yaml")
+        monkeypatch.setenv("REPRO_LOG_FORMAT", "xml")
+        with pytest.raises(ValueError):
+            resolve_format(None)
+
+
+class TestJsonLines:
+    def _capture(self, level=logging.INFO):
+        stream = io.StringIO()
+        configure(level, stream=stream, fmt="json")
+        return stream
+
+    def teardown_method(self):
+        configure(logging.WARNING)
+        logging.getLogger("repro").handlers.clear()
+
+    def test_each_line_is_a_json_object(self):
+        stream = self._capture()
+        log = get_logger("serve")
+        log.info("request", method="GET", status=200)
+        log.info("listening", port=8765)
+        lines = stream.getvalue().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["message"] == "request"
+        assert records[0]["method"] == "GET" and records[0]["status"] == 200
+        assert records[0]["level"] == "info"
+        assert records[0]["logger"] == "repro.serve"
+        assert isinstance(records[0]["ts"], float)
+        assert records[1]["port"] == 8765
+
+    def test_envelope_keys_win_over_field_collisions(self):
+        stream = self._capture()
+        get_logger("x").info("event", message="shadow", logger="shadow", ts="shadow")
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "event"
+        assert record["logger"] == "repro.x"
+        assert isinstance(record["ts"], float)
+
+    def test_exceptions_serialized(self):
+        stream = self._capture()
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger("x").logger.exception("failed")
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "failed"
+        assert "RuntimeError: boom" in record["exception"]
+
+    def test_unserializable_values_stringified(self):
+        stream = self._capture()
+        get_logger("x").info("event", path=object())
+        record = json.loads(stream.getvalue())
+        assert "object object" in record["path"]

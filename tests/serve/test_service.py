@@ -219,9 +219,10 @@ class TestEndToEnd:
         assert second["id"] == first["id"] and second["coalesced"] is True
         assert server.server.service.stats["executed"] == 1
 
-    def test_fresh_daemon_serves_store_hits_without_rerunning(self, harness):
-        # Two daemons sharing one store directory: the second one's job
-        # resolves entirely from cache (what the CI smoke job asserts).
+    def test_restarted_daemon_replays_journal_without_rerunning(self, harness):
+        # Two daemons sharing one store + journal: the second replays the
+        # journal at boot, so the finished digest is already known — no
+        # re-simulation, not even a store lookup until the result is asked.
         first = harness(workers=1)
         _s, _h, info = first.json("POST", "/v1/runs", body=scenario_body())
         final = first.wait_for_state(info["id"])
@@ -229,6 +230,29 @@ class TestEndToEnd:
         first.stop()
 
         second = harness(workers=1)
+        status, _h, replayed = second.json("GET", f"/v1/runs/{info['id']}")
+        assert status == 200
+        assert replayed["state"] == "done" and replayed.get("replayed") is True
+
+        status, _h, info2 = second.json("POST", "/v1/runs", body=scenario_body())
+        assert status == 200
+        assert info2["id"] == info["id"] and info2["coalesced"] is True
+        assert second.server.service.stats["executed"] == 0
+
+        # The payload rebuilds lazily from the warm store on first request.
+        status, _h, payload = second.json("GET", f"/v1/results/{info['id']}")
+        assert status == 200 and payload["digest"] == info["id"]
+
+    def test_fresh_daemon_without_journal_serves_store_hits(self, harness):
+        # With the journal off, a restart forgets the job but the shared
+        # store still answers: the re-run is pure cache hits.
+        first = harness(workers=1, use_journal=False)
+        _s, _h, info = first.json("POST", "/v1/runs", body=scenario_body())
+        final = first.wait_for_state(info["id"])
+        assert final["progress"]["cache_misses"] == 1
+        first.stop()
+
+        second = harness(workers=1, use_journal=False)
         _s, _h, info2 = second.json("POST", "/v1/runs", body=scenario_body())
         assert info2["id"] == info["id"]
         final2 = second.wait_for_state(info2["id"])
@@ -440,6 +464,108 @@ class TestErrorsAndIntrospection:
         status, _headers, listing = server.json("GET", "/v1/runs")
         assert status == 200
         assert [job["id"] for job in listing["jobs"]] == [info["id"]]
+
+
+class TestJournalAndEvents:
+    def test_crash_mid_job_is_forgotten_and_rerun(self, harness, tmp_path):
+        # Simulate a crash before the terminal event hit the journal: strip
+        # the "done" line.  The restarted daemon must NOT claim the digest
+        # finished — the job is forgotten and a resubmission re-runs it
+        # (served from the still-warm store).
+        first = harness(workers=1)
+        _s, _h, info = first.json("POST", "/v1/runs", body=scenario_body())
+        first.wait_for_state(info["id"])
+        first.stop()
+
+        journal = tmp_path / "store" / "journal.jsonl"
+        lines = journal.read_text().splitlines(keepends=True)
+        events = [json.loads(line)["event"] for line in lines]
+        assert events[-1] == "done"
+        journal.write_text(
+            "".join(l for l in lines if json.loads(l)["event"] != "done")
+        )
+
+        second = harness(workers=1)
+        stats = second.server.service.replay_stats
+        assert stats["jobs_restored"] == 0 and stats["events"] == len(events) - 1
+        assert second.request("GET", f"/v1/runs/{info['id']}")[0] == 404
+
+        status, _h, info2 = second.json("POST", "/v1/runs", body=scenario_body())
+        assert status == 202 and info2["coalesced"] is False
+        final = second.wait_for_state(info2["id"])
+        assert final["progress"]["cache_hits"] == 1
+        assert second.server.service.stats["executed"] == 1
+
+    def test_events_stream_until_terminal_state(self, harness, monkeypatch):
+        gate = threading.Event()
+
+        def slow_run_suite(suite, **_kwargs):
+            assert gate.wait(30)
+            return fake_suite_result()
+
+        monkeypatch.setattr("repro.serve.service.run_suite", slow_run_suite)
+        server = harness(workers=1)
+        _s, _h, info = server.json(
+            "POST", "/v1/runs", body=json.dumps({"suite": "smoke"})
+        )
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+        try:
+            conn.request("GET", f"/v1/runs/{info['id']}/events")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == "application/x-ndjson"
+            # The stream starts with history (queued) and follows the job
+            # live; it only closes once the terminal event has been sent.
+            first = json.loads(response.readline())
+            assert first["event"] == "queued" and first["digest"] == info["id"]
+            assert first["kind"] == "suite" and "ts" in first
+            gate.set()
+            rest = [json.loads(line) for line in response if line.strip()]
+            assert [e["event"] for e in rest][-1] == "done"
+            assert rest[0]["event"] == "running"
+        finally:
+            conn.close()
+
+    def test_replayed_job_stream_closes_after_history(self, harness):
+        first = harness(workers=1)
+        _s, _h, info = first.json("POST", "/v1/runs", body=scenario_body())
+        first.wait_for_state(info["id"])
+        first.stop()
+
+        second = harness(workers=1)
+        status, headers, body = second.request(
+            "GET", f"/v1/runs/{info['id']}/events"
+        )
+        assert status == 200
+        events = [json.loads(line) for line in body.splitlines() if line]
+        assert [e["event"] for e in events][0] == "queued"
+        assert [e["event"] for e in events][-1] == "done"
+
+    def test_events_for_unknown_digest_404(self, harness):
+        server = harness(workers=1)
+        assert server.request("GET", "/v1/runs/" + "0" * 64 + "/events")[0] == 404
+
+    def test_healthz_and_metrics_expose_journal_stats(self, harness, tmp_path):
+        server = harness(workers=1)
+        _s, _h, info = server.json("POST", "/v1/runs", body=scenario_body())
+        server.wait_for_state(info["id"])
+
+        _s, _h, health = server.json("GET", "/v1/healthz")
+        journal = health["journal"]
+        assert journal["path"] == str(tmp_path / "store" / "journal.jsonl")
+        assert journal["size_bytes"] > 0
+        assert journal["events_appended"] >= 3  # queued, running, done
+        assert journal["replay"]["events"] == 0  # fresh journal: nothing replayed
+
+        text = server.request("GET", "/v1/metrics")[2].decode("utf-8")
+        assert "repro_journal_size_bytes" in text
+        assert "repro_journal_events_appended" in text
+        assert 'repro_journal_replay{stat="jobs_restored"} 0' in text
+
+    def test_healthz_journal_null_when_disabled(self, harness):
+        server = harness(workers=1, use_journal=False)
+        _s, _h, health = server.json("GET", "/v1/healthz")
+        assert health["journal"] is None
 
 
 class TestObservability:
