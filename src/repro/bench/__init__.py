@@ -8,7 +8,7 @@ is that methodology as code:
 * :mod:`repro.bench.suite`  — :class:`BenchmarkCase`/:class:`BenchmarkSuite`
   (a :class:`~repro.api.scenario.Scenario` template × a seed list) and the
   registered built-in suites (``std-space``, ``std-gang``, ``std-grid``,
-  ``std-outage``, ``std-feedback``, ``smoke``);
+  ``std-outage``, ``std-feedback``, ``std-scale``, ``smoke``);
 * :mod:`repro.bench.seeds`  — splitmix-style :func:`derive_seeds`, so a seed
   list depends only on the base seed, never on worker count or run order;
 * :mod:`repro.bench.stats`  — pure-python replication statistics: Student-t

@@ -77,7 +77,11 @@ class GCStats:
 #: Cache-format / simulator-semantics version; bump to invalidate the store.
 #: v2: MetricsReport gained the per-run ``counters`` dict — older entries
 #: lack it, and the strict ``from_json`` rightly refuses them.
-STORE_VERSION = "v2"
+#: v3: slot-set scheduling core — schedules are bit-identical, but the
+#: counter set changed (``slots_split``/``slots_merged``/``profile_patches``
+#: replace the per-pass ``profile_builds``) and metric aggregation moved to
+#: columnar float reductions, so cached reports differ in the last ulp.
+STORE_VERSION = "v3"
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_BENCH_STORE"

@@ -19,6 +19,8 @@ The built-in suites cover every simulator mode the repository has:
 ``std-trace-smoke``  one tiny catalog trace through FCFS and EASY (CI check)
 ``std-trace-ctc``    the CTC SP2 catalog trace, load-varied, space roster
 ``std-trace-archives`` all four catalog traces at native load, FCFS vs EASY
+``std-scale``        100k-job synthetic traces, space roster (perf trajectory)
+``std-scale-smoke``  trimmed 20k-job scale run (CI perf gate)
 ===================  =====================================================
 
 The ``std-trace-*`` suites replay catalog traces (:mod:`repro.traces`):
@@ -338,6 +340,55 @@ def _std_trace_archives_suite() -> BenchmarkSuite:
             "offered loads, FCFS versus EASY backfilling."
         ),
         cases=tuple(cases),
+    )
+
+
+@register_suite("std-scale")
+def _std_scale_suite() -> BenchmarkSuite:
+    seeds = derive_seeds(SUITE_BASE_SEED, 1)
+    scenario = Scenario(
+        workload="trace:uniform,jobs=100000,load=0.75,machine_size=256",
+        jobs=100000,
+    )
+    return BenchmarkSuite(
+        name="std-scale",
+        description=(
+            "A 100k-job uniform catalog trace rescaled to load 0.75 through "
+            "FCFS, EASY, and conservative backfilling — the perf-trajectory "
+            "suite whose timings are committed as BENCH_std_scale.json."
+        ),
+        cases=tuple(
+            _roster(
+                "trace:uniform-100k@0.75",
+                scenario,
+                ("fcfs", "easy", "conservative"),
+                seeds,
+            )
+        ),
+    )
+
+
+@register_suite("std-scale-smoke")
+def _std_scale_smoke_suite() -> BenchmarkSuite:
+    seeds = derive_seeds(SUITE_BASE_SEED, 1)
+    scenario = Scenario(
+        workload="trace:uniform,jobs=20000,load=0.75,machine_size=256",
+        jobs=20000,
+    )
+    return BenchmarkSuite(
+        name="std-scale-smoke",
+        description=(
+            "The std-scale roster trimmed to 20k jobs so CI can gate the "
+            "scheduling-core perf trajectory in about a minute."
+        ),
+        cases=tuple(
+            _roster(
+                "trace:uniform-20k@0.75",
+                scenario,
+                ("fcfs", "easy", "conservative"),
+                seeds,
+            )
+        ),
     )
 
 

@@ -88,6 +88,19 @@ class SWFJob:
             )
         return cls(**dict(zip(FIELD_NAMES, values)))
 
+    @classmethod
+    def _from_trusted_fields(cls, values: Iterable[int]) -> "SWFJob":
+        """Build a job from 18 *pre-validated* field values in file order.
+
+        Bypasses ``__init__``/``__post_init__`` — the caller must guarantee
+        plain Python ints and a positive job number.  This is the hot-path
+        constructor for columnar transforms, which derive every value from
+        fields of already-validated jobs.
+        """
+        job = object.__new__(cls)
+        job.__dict__.update(zip(FIELD_NAMES, values))
+        return job
+
     def to_fields(self) -> list:
         """Return the 18 field values in file order."""
         return [getattr(self, name) for name in FIELD_NAMES]

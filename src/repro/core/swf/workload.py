@@ -9,11 +9,19 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
-from repro.core.swf.fields import MISSING
+import numpy as np
+
+from repro.core.swf.columns import JobColumns
+from repro.core.swf.fields import FIELD_NAMES, MISSING
 from repro.core.swf.header import SWFHeader
 from repro.core.swf.records import SWFJob
 
 __all__ = ["Workload"]
+
+_SUBMIT_IDX = FIELD_NAMES.index("submit_time")
+_NUMBER_IDX = FIELD_NAMES.index("job_number")
+_PRECEDING_IDX = FIELD_NAMES.index("preceding_job")
+_THINK_IDX = FIELD_NAMES.index("think_time")
 
 
 class Workload:
@@ -34,6 +42,7 @@ class Workload:
         self._jobs: List[SWFJob] = list(jobs or [])
         self.header: SWFHeader = header if header is not None else SWFHeader()
         self.name = name
+        self._columns: Optional[JobColumns] = None
 
     # ------------------------------------------------------------------
     # container protocol
@@ -63,10 +72,18 @@ class Workload:
     def append(self, job: SWFJob) -> None:
         """Append a job to the workload."""
         self._jobs.append(job)
+        self._columns = None
 
     def extend(self, jobs: Iterable[SWFJob]) -> None:
         """Append several jobs to the workload."""
         self._jobs.extend(jobs)
+        self._columns = None
+
+    def columns(self) -> JobColumns:
+        """Int64 column view of the hot job fields (cached until mutation)."""
+        if self._columns is None or self._columns.n != len(self._jobs):
+            self._columns = JobColumns(self._jobs)
+        return self._columns
 
     def copy(self, name: Optional[str] = None) -> "Workload":
         """Shallow copy (jobs are immutable, so sharing them is safe)."""
@@ -97,7 +114,10 @@ class Workload:
 
     def sorted_by_submit(self) -> "Workload":
         """New workload with jobs sorted by ascending submit time (stable)."""
-        ordered = sorted(self._jobs, key=lambda j: (j.submit_time, j.job_number))
+        cols = self.columns()
+        order = np.lexsort((cols.np("job_number"), cols.np("submit")))
+        jobs = self._jobs
+        ordered = [jobs[idx] for idx in order.tolist()]
         return Workload(ordered, SWFHeader(self.header.entries), name=self.name)
 
     def renumbered(self) -> "Workload":
@@ -118,9 +138,14 @@ class Workload:
                 else:
                     preceding = MISSING
                     think = MISSING
-            renumbered.append(
-                job.replace(job_number=idx + 1, preceding_job=preceding, think_time=think)
-            )
+            if job.job_number == idx + 1 and preceding == job.preceding_job and think == job.think_time:
+                renumbered.append(job)
+                continue
+            fields = job.to_fields()
+            fields[_NUMBER_IDX] = idx + 1
+            fields[_PRECEDING_IDX] = preceding
+            fields[_THINK_IDX] = think
+            renumbered.append(SWFJob._from_trusted_fields(fields))
         return Workload(renumbered, SWFHeader(self.header.entries), name=self.name)
 
     # ------------------------------------------------------------------
@@ -128,22 +153,30 @@ class Workload:
     # ------------------------------------------------------------------
     def span(self) -> int:
         """Seconds from the first submit to the last known completion (or submit)."""
-        jobs = self.summary_jobs()
-        if not jobs:
+        cols = self.columns()
+        summary = cols.summary_mask()
+        if not summary.any():
             return 0
-        start = min(job.submit_time for job in jobs if job.submit_time != MISSING)
-        end = start
-        for job in jobs:
-            candidate = job.end_time
-            if candidate is None:
-                candidate = job.submit_time
-            if candidate is not None and candidate != MISSING:
-                end = max(end, candidate)
-        return max(0, end - start)
+        submit = cols.np("submit")[summary]
+        wait = cols.np("wait")[summary]
+        run = cols.np("run")[summary]
+        known_submit = submit != MISSING
+        if not known_submit.any():
+            raise ValueError("min() arg is an empty sequence")
+        start = int(submit[known_submit].min())
+        # end_time when submit/wait/run are all known, else the submit time;
+        # candidates that land exactly on the -1 sentinel are skipped, like
+        # the per-job loop this replaces.
+        has_end = known_submit & (wait != MISSING) & (run != MISSING)
+        candidate = np.where(has_end, submit + wait + run, submit)
+        candidate = candidate[candidate != MISSING]
+        end = int(candidate.max()) if candidate.size else start
+        return max(0, max(start, end) - start)
 
     def total_area(self) -> int:
         """Total processor-seconds demanded by summary jobs with known size and runtime."""
-        return sum(job.area or 0 for job in self.summary_jobs())
+        cols = self.columns()
+        return int(cols.area_per_job()[cols.summary_mask()].sum())
 
     def offered_load(self, machine_size: Optional[int] = None) -> float:
         """Offered load: total area divided by (machine size x submit-time span).
@@ -155,21 +188,25 @@ class Workload:
             machine_size = self.header.max_nodes
         if not machine_size:
             return 0.0
-        jobs = self.summary_jobs()
-        if len(jobs) < 2:
+        cols = self.columns()
+        summary = cols.summary_mask()
+        if int(summary.sum()) < 2:
             return 0.0
-        submit_times = [j.submit_time for j in jobs if j.submit_time != MISSING]
-        if not submit_times:
+        submit = cols.np("submit")[summary]
+        submit = submit[submit != MISSING]
+        if not submit.size:
             return 0.0
-        span = max(submit_times) - min(submit_times)
+        span = int(submit.max()) - int(submit.min())
         if span <= 0:
             return 0.0
         return self.total_area() / (machine_size * span)
 
     def max_processors(self) -> int:
         """Largest processor count appearing in the workload (0 if none known)."""
-        sizes = [job.processors for job in self.summary_jobs() if job.processors != MISSING]
-        return max(sizes) if sizes else 0
+        cols = self.columns()
+        procs = cols.np("procs")[cols.summary_mask()]
+        procs = procs[procs != MISSING]
+        return int(procs.max()) if procs.size else 0
 
     def users(self) -> List[int]:
         """Sorted distinct user ids (missing values excluded)."""
@@ -195,15 +232,35 @@ class Workload:
         """
         if factor <= 0:
             raise ValueError("load scale factor must be positive")
-        scaled = [
-            job.replace(submit_time=int(round(job.submit_time / factor)))
-            if job.submit_time != MISSING
-            else job
-            for job in self._jobs
-        ]
-        wl = Workload(scaled, SWFHeader(self.header.entries),
-                      name=name if name is not None else f"{self.name}-x{factor:g}")
-        return wl.sorted_by_submit().renumbered()
+        cols = self.columns()
+        submit = cols.np("submit")
+        known = submit != MISSING
+        # int(round(x)) on float64 — np.rint is the same round-half-to-even
+        scaled = np.where(known, np.rint(submit / factor).astype(np.int64), submit)
+        numbers = cols.np("job_number")
+        # one fused pass replaces replace-all + sorted_by_submit + renumbered
+        # (three full object rebuilds); np.lexsort is stable with the same
+        # (submit, job_number) key
+        order = np.lexsort((numbers, scaled))
+        mapping = {int(numbers[idx]): rank + 1 for rank, idx in enumerate(order)}
+        scaled_list = scaled.tolist()
+        jobs = self._jobs
+        rebuilt: List[SWFJob] = []
+        for rank, idx in enumerate(order.tolist()):
+            fields = jobs[idx].to_fields()
+            fields[_NUMBER_IDX] = rank + 1
+            fields[_SUBMIT_IDX] = scaled_list[idx]
+            preceding = fields[_PRECEDING_IDX]
+            if preceding != MISSING:
+                remapped = mapping.get(preceding)
+                if remapped is None:
+                    fields[_PRECEDING_IDX] = MISSING
+                    fields[_THINK_IDX] = MISSING
+                else:
+                    fields[_PRECEDING_IDX] = remapped
+            rebuilt.append(SWFJob._from_trusted_fields(fields))
+        return Workload(rebuilt, SWFHeader(self.header.entries),
+                        name=name if name is not None else f"{self.name}-x{factor:g}")
 
     def truncate(self, max_jobs: int, name: Optional[str] = None) -> "Workload":
         """Keep only the first ``max_jobs`` jobs (by current order)."""
@@ -217,14 +274,17 @@ class Workload:
 
     def shift_origin(self) -> "Workload":
         """Shift submit times so the earliest submit time becomes zero."""
-        jobs = [j for j in self._jobs if j.submit_time != MISSING]
-        if not jobs:
+        submit = self.columns().np("submit")
+        known = submit != MISSING
+        if not known.any():
             return self.copy()
-        origin = min(j.submit_time for j in jobs)
-        shifted = [
-            job.replace(submit_time=job.submit_time - origin)
-            if job.submit_time != MISSING
-            else job
-            for job in self._jobs
-        ]
+        origin = int(submit[known].min())
+        shifted: List[SWFJob] = []
+        for job, new_submit in zip(self._jobs, np.where(known, submit - origin, submit).tolist()):
+            if job.submit_time == new_submit:
+                shifted.append(job)
+            else:
+                fields = job.to_fields()
+                fields[_SUBMIT_IDX] = new_submit
+                shifted.append(SWFJob._from_trusted_fields(fields))
         return Workload(shifted, SWFHeader(self.header.entries), name=self.name)

@@ -123,15 +123,25 @@ class MetricsReport:
 
 def compute_metrics(result: SimulationResult, tau: float = DEFAULT_TAU) -> MetricsReport:
     """Compute the full :class:`MetricsReport` for a simulation result."""
-    completed = result.completed_jobs()
-    killed = result.killed_jobs()
+    cols = result.columns()
+    completed_mask = ~cols.killed
+    completed_count = int(completed_mask.sum())
+    killed_count = cols.n - completed_count
 
-    waits = np.asarray([j.wait_time for j in completed], dtype=float)
-    responses = np.asarray([j.response_time for j in completed], dtype=float)
-    slowdowns = np.asarray(
-        [j.slowdown() for j in completed if math.isfinite(j.slowdown())], dtype=float
-    )
-    bounded = np.asarray([j.bounded_slowdown(tau) for j in completed], dtype=float)
+    submit = cols.np("submit")[completed_mask]
+    start = cols.np("start")[completed_mask]
+    end = cols.np("end")[completed_mask]
+    # Column expressions mirror the JobResult properties operation for
+    # operation, so every value is bit-identical to the per-job path.
+    waits = start - submit
+    responses = end - submit
+    runs = end - start
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        slowdowns = responses[runs > 0] / runs[runs > 0]
+    slowdowns = slowdowns[np.isfinite(slowdowns)]
+    if completed_count and tau <= 0:
+        raise ValueError("tau must be positive")
+    bounded = np.maximum(1.0, responses / np.maximum(runs, tau))
 
     makespan = result.makespan
     total_area = result.total_area()
@@ -140,7 +150,7 @@ def compute_metrics(result: SimulationResult, tau: float = DEFAULT_TAU) -> Metri
     else:
         capacity = result.machine_size * makespan if makespan > 0 else 0.0
     utilization = (total_area / capacity) if capacity > 0 else 0.0
-    throughput = (len(completed) / (makespan / 3600.0)) if makespan > 0 else 0.0
+    throughput = (completed_count / (makespan / 3600.0)) if makespan > 0 else 0.0
 
     def _mean(a: np.ndarray) -> float:
         return float(np.mean(a)) if a.size else 0.0
@@ -153,8 +163,8 @@ def compute_metrics(result: SimulationResult, tau: float = DEFAULT_TAU) -> Metri
 
     return MetricsReport(
         scheduler=result.scheduler_name,
-        jobs=len(completed),
-        killed=len(killed),
+        jobs=completed_count,
+        killed=killed_count,
         mean_wait=_mean(waits),
         median_wait=_median(waits),
         mean_response=_mean(responses),

@@ -15,8 +15,10 @@ and user estimates).
 
 * **Conservative backfilling**: every queued job receives a reservation when
   it arrives, and a job may be backfilled only if it delays *no* existing
-  reservation.  Implemented by rebuilding the availability profile at each
-  scheduling point and anchoring jobs in queue order.
+  reservation.  Implemented by anchoring jobs in queue order against the
+  incrementally-maintained :class:`~repro.schedulers.freespace.FreeSpace`
+  slot set (a per-pass copy takes the tentative reservations, so the base
+  structure only ever tracks actually-running jobs).
 
 Both use the user estimate, not the actual runtime, to compute reservations —
 as in production systems, over-estimates create backfill opportunities.
@@ -24,6 +26,7 @@ as in production systems, over-estimates create backfill opportunities.
 
 from __future__ import annotations
 
+from heapq import merge
 from typing import List, Optional
 
 from repro.api.registry import register_scheduler
@@ -35,6 +38,7 @@ from repro.schedulers.base import (
     Scheduler,
     SchedulerState,
 )
+from repro.schedulers.freespace import FreeSpaceTracker
 
 __all__ = ["EasyBackfillScheduler", "ConservativeBackfillScheduler"]
 
@@ -55,27 +59,28 @@ class EasyBackfillScheduler(Scheduler):
     def select_jobs(self, state: SchedulerState) -> List[JobRequest]:
         started: List[JobRequest] = []
         free = state.free_processors
-        queue = list(state.queue)
+        queue = state.queue
 
-        # Phase 1: start jobs in FCFS order while they fit.
-        while queue:
-            head = queue[0]
-            if self.job_fits_now(state, head, free):
-                started.append(head)
-                free -= head.processors
-                queue.pop(0)
-            else:
+        # Phase 1: start jobs in FCFS order while they fit (an index walk —
+        # popping the head of a list re-shifts the whole queue each time).
+        head_index = 0
+        for head in queue:
+            if not self.job_fits_now(state, head, free):
                 break
+            started.append(head)
+            free -= head.processors
+            head_index += 1
 
-        if not queue:
+        if head_index >= len(queue):
             return started
 
         # Phase 2: the head does not fit.  Compute its shadow time and the
         # number of extra processors, then backfill behind it.
-        head = queue[0]
+        head = queue[head_index]
         shadow_time, extra = self._shadow(state, started, head, free)
 
-        for candidate in queue[1:]:
+        for i in range(head_index + 1, len(queue)):
+            candidate = queue[i]
             if not self.job_fits_now(state, candidate, free):
                 continue
             finishes_before_shadow = state.now + candidate.estimate <= shadow_time
@@ -101,11 +106,25 @@ class EasyBackfillScheduler(Scheduler):
         jobs (including those started in phase 1), enough processors free up
         for the head; the extra processors are those free at the shadow time
         beyond what the head needs.
+
+        The running-set release list comes memoized from
+        :meth:`SchedulerState.expected_completions`; phase-1 starts are a
+        second (small) sorted run merged in, so nothing is re-sorted here.
+
+        Deliberately *not* expressed as a :class:`FreeSpace` query: the
+        ``extra`` count depends on how many releases the walk consumed,
+        not on the free level at the shadow time — two simultaneous
+        completions can leave the profile higher than the walk's
+        ``available``, and preserving the historical (paper-faithful)
+        tie-breaking keeps schedules bit-for-bit identical.
         """
         count("shadow_scans")
-        releases = [(info.expected_end, info.processors) for info in state.running]
-        releases += [(state.now + req.estimate, req.processors) for req in just_started]
-        releases.sort()
+        releases = state.expected_completions()
+        if just_started:
+            fresh = sorted(
+                (state.now + req.estimate, req.processors) for req in just_started
+            )
+            releases = merge(releases, fresh)
 
         available = free
         shadow_time = state.now
@@ -125,7 +144,14 @@ class EasyBackfillScheduler(Scheduler):
 
 @register_scheduler("conservative", "conservative-backfill")
 class ConservativeBackfillScheduler(Scheduler):
-    """Conservative backfilling: every queued job holds a reservation."""
+    """Conservative backfilling: every queued job holds a reservation.
+
+    Each scheduling pass syncs the incrementally-maintained slot set to
+    the running jobs (patching only what started/finished since the last
+    pass), takes an O(slots) copy, optionally clamps it to announced
+    outage capacity, and anchors the queue in order — identical decisions
+    to the old rebuild-every-pass profile, without the rebuild.
+    """
 
     name = "conservative-backfill"
 
@@ -133,14 +159,13 @@ class ConservativeBackfillScheduler(Scheduler):
         self.outage_aware = outage_aware
         #: how far ahead the availability profile is clamped by announced outages
         self.horizon = horizon
+        self._tracker = FreeSpaceTracker()
 
     def select_jobs(self, state: SchedulerState) -> List[JobRequest]:
-        count("profile_builds")
-        profile = AvailabilityProfile.from_running(
-            state.total_processors, state.now, state.running
-        )
+        base = self._tracker.sync(state)
+        profile = base.copy()
         if self.outage_aware:
-            profile.add_capacity_limit(state.min_capacity, state.now + self.horizon)
+            profile.clamp_capacity(state.min_capacity, state.now + self.horizon)
 
         started: List[JobRequest] = []
         free = state.free_processors
@@ -148,7 +173,7 @@ class ConservativeBackfillScheduler(Scheduler):
         for request in state.queue:
             duration = max(request.estimate, 1)
             anchor = profile.earliest_start(request.processors, duration)
-            profile.remove(anchor, anchor + duration, request.processors)
+            profile.reserve(anchor, anchor + duration, request.processors)
             if anchor <= state.now and self.job_fits_now(state, request, free):
                 if blocked:
                     count("jobs_backfilled")
@@ -156,4 +181,9 @@ class ConservativeBackfillScheduler(Scheduler):
                 free -= request.processors
             else:
                 blocked = True
+        splits, merges = profile.take_stats()
+        if splits:
+            count("slots_split", splits)
+        if merges:
+            count("slots_merged", merges)
         return started

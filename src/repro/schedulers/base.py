@@ -9,18 +9,22 @@ recorded), exactly the information a production scheduler has.
 
 The :class:`AvailabilityProfile` helper maintains the piecewise-constant
 "free processors over future time" function that backfilling and advance
-reservations reason about.
+reservations reason about.  It is a thin compatibility shim over the
+slot-set :class:`repro.schedulers.freespace.FreeSpace` core — same public
+API and bit-for-bit identical answers, with bisect lookups and slot walks
+instead of per-breakpoint scans.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from bisect import insort
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.swf.fields import MISSING
 from repro.core.swf.records import SWFJob
+from repro.schedulers.freespace import FreeSpace
 
 __all__ = [
     "JobRequest",
@@ -108,6 +112,9 @@ class SchedulerState:
     #: min available capacity over a future window, considering *announced*
     #: outages only; defaults to the constant total capacity.
     min_capacity: Callable[[float, float], int] = None  # type: ignore[assignment]
+    _completions: Optional[List[Tuple[float, int]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.min_capacity is None:
@@ -115,8 +122,15 @@ class SchedulerState:
             self.min_capacity = lambda start, end: total
 
     def expected_completions(self) -> List[Tuple[float, int]]:
-        """(expected end, processors) for running jobs, sorted by end time."""
-        return sorted((r.expected_end, r.processors) for r in self.running)
+        """(expected end, processors) for running jobs, sorted by end time.
+
+        Memoized on the snapshot: backfilling consults this once per
+        blocked-head decision, and the running set cannot change within
+        one scheduling pass.
+        """
+        if self._completions is None:
+            self._completions = sorted((r.expected_end, r.processors) for r in self.running)
+        return self._completions
 
 
 class Scheduler(ABC):
@@ -166,7 +180,7 @@ class Scheduler(ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
 
-class AvailabilityProfile:
+class AvailabilityProfile(FreeSpace):
     """Piecewise-constant future free-processor profile.
 
     Built from the currently-running jobs' expected end times (and, for
@@ -175,16 +189,14 @@ class AvailabilityProfile:
     conservative backfilling: every queued job gets the earliest anchor point
     at which it fits, and placing it updates the profile so later jobs cannot
     push it back.
-    """
 
-    def __init__(self, total_processors: int, now: float) -> None:
-        if total_processors < 1:
-            raise ValueError("total_processors must be >= 1")
-        self.total = total_processors
-        self.now = float(now)
-        # breakpoints: sorted list of (time, free_processors_from_this_time_on)
-        self._times: List[float] = [float(now)]
-        self._free: List[int] = [total_processors]
+    Since the slot-set refactor this is a compatibility shim over
+    :class:`repro.schedulers.freespace.FreeSpace`: the legacy method names
+    (``remove``, ``add_capacity_limit``) delegate to the slot-set core,
+    and every query returns exactly what the original breakpoint-scan
+    implementation returned (asserted against a verbatim copy of the old
+    code in ``tests/schedulers/test_freespace.py``).
+    """
 
     @classmethod
     def from_running(
@@ -202,66 +214,13 @@ class AvailabilityProfile:
             profile.remove(now, end, info.processors)
         return profile
 
-    # ------------------------------------------------------------------
-    # internal helpers
-    # ------------------------------------------------------------------
-    def _ensure_breakpoint(self, time: float) -> int:
-        """Ensure a breakpoint exists at ``time``; return its index."""
-        time = max(float(time), self.now)
-        lo, hi = 0, len(self._times)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self._times[mid] < time:
-                lo = mid + 1
-            else:
-                hi = mid
-        index = lo
-        if index < len(self._times) and self._times[index] == time:
-            return index
-        previous_free = self._free[index - 1] if index > 0 else self.total
-        self._times.insert(index, time)
-        self._free.insert(index, previous_free)
-        return index
-
     def _index_at(self, time: float) -> int:
-        """Index of the segment covering ``time``."""
-        index = 0
-        for i, t in enumerate(self._times):
-            if t <= time:
-                index = i
-            else:
-                break
-        return index
-
-    # ------------------------------------------------------------------
-    # queries and updates
-    # ------------------------------------------------------------------
-    def free_at(self, time: float) -> int:
-        """Free processors at ``time``."""
-        return self._free[self._index_at(max(time, self.now))]
-
-    def min_free(self, start: float, end: float) -> int:
-        """Minimum free processors over [start, end)."""
-        start = max(start, self.now)
-        if end <= start:
-            return self.free_at(start)
-        minimum = self.free_at(start)
-        for t, f in zip(self._times, self._free):
-            if start < t < end:
-                minimum = min(minimum, f)
-        return minimum
+        """Index of the slot covering ``time`` (bisect, not a linear scan)."""
+        return bisect_right(self._times, time) - 1 if time >= self._times[0] else 0
 
     def remove(self, start: float, end: float, processors: int) -> None:
         """Subtract ``processors`` from the profile over [start, end)."""
-        if processors < 0:
-            raise ValueError("processors must be non-negative")
-        if end <= start or processors == 0:
-            return
-        start = max(start, self.now)
-        i0 = self._ensure_breakpoint(start)
-        i1 = self._ensure_breakpoint(end)
-        for i in range(i0, i1):
-            self._free[i] -= processors
+        self.reserve(start, end, processors)
 
     def add_capacity_limit(self, capacity_fn: Callable[[float, float], int], horizon: float) -> None:
         """Clamp the profile to an external capacity function over [now, horizon).
@@ -269,39 +228,4 @@ class AvailabilityProfile:
         Used by outage-aware conservative backfilling: the free curve can
         never exceed the announced available capacity.
         """
-        # Sample the capacity function at existing breakpoints; callers pass
-        # an AvailabilityTimeline-backed function which is piecewise constant
-        # on outage boundaries, so also sample those via min over segments.
-        for i, t in enumerate(self._times):
-            if t >= horizon:
-                break
-            next_t = self._times[i + 1] if i + 1 < len(self._times) else horizon
-            cap = capacity_fn(t, min(next_t, horizon))
-            busy = self.total - self._free[i]
-            self._free[i] = min(self._free[i], max(0, cap - busy))
-
-    def earliest_start(self, processors: int, duration: float, not_before: float = None) -> float:
-        """Earliest time >= ``not_before`` at which ``processors`` are free for ``duration``.
-
-        Scans profile breakpoints; because every segment ends at a breakpoint
-        and the profile eventually returns to fully-free, a feasible anchor
-        always exists for requests that fit the machine.
-        """
-        if processors > self.total:
-            raise ValueError(
-                f"a request for {processors} processors can never fit a "
-                f"{self.total}-processor machine"
-            )
-        not_before = self.now if not_before is None else max(not_before, self.now)
-        candidates = [t for t in self._times if t >= not_before]
-        if not_before not in candidates:
-            candidates.insert(0, not_before)
-        for anchor in candidates:
-            if self.min_free(anchor, anchor + duration) >= processors:
-                return anchor
-        # After the last breakpoint the machine is fully free.
-        return max(self._times[-1], not_before)
-
-    def segments(self) -> List[Tuple[float, int]]:
-        """(time, free) breakpoints, for inspection and tests."""
-        return list(zip(self._times, self._free))
+        self.clamp_capacity(capacity_fn, horizon)

@@ -41,8 +41,14 @@ import re
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.swf.fields import MISSING
+from repro.core.swf.fields import FIELD_NAMES, MISSING
+from repro.core.swf.records import SWFJob
 from repro.core.swf.workload import Workload
+
+_ALLOC_IDX = FIELD_NAMES.index("allocated_processors")
+_REQ_PROCS_IDX = FIELD_NAMES.index("requested_processors")
+_PRECEDING_IDX = FIELD_NAMES.index("preceding_job")
+_THINK_IDX = FIELD_NAMES.index("think_time")
 
 __all__ = [
     "TraceTransform",
@@ -195,15 +201,17 @@ class TimeSlice(TraceTransform):
         return cls(start=start, end=end)
 
     def apply(self, workload: Workload) -> Workload:
-        def keep(job) -> bool:
-            if job.submit_time == MISSING:
-                return False
-            if job.submit_time < self.start:
-                return False
-            return self.end is None or job.submit_time < self.end
+        submit = workload.columns().np("submit")
+        keep = (submit != MISSING) & (submit >= self.start)
+        if self.end is not None:
+            keep &= submit < self.end
 
         label = f"{self.start}:{'' if self.end is None else self.end}"
-        sliced = workload.filter(keep, name=f"{workload.name}[{label}]")
+        sliced = Workload(
+            [job for job, kept in zip(workload.jobs, keep.tolist()) if kept],
+            header=type(workload.header)(workload.header.entries),
+            name=f"{workload.name}[{label}]",
+        )
         return sliced.shift_origin().renumbered()
 
     def identity(self) -> Dict[str, Any]:
@@ -221,6 +229,13 @@ FILTER_FIELDS: Dict[str, Tuple[str, str]] = {
     "min_runtime": ("run_time", "ge"),
     "max_runtime": ("run_time", "le"),
     "queue": ("queue_number", "eq"),
+}
+
+#: job attribute -> JobColumns column carrying the same values
+_FILTER_COLUMNS: Dict[str, str] = {
+    "processors": "procs",
+    "run_time": "run",
+    "queue_number": "queue",
 }
 
 
@@ -246,18 +261,19 @@ class FieldFilter(TraceTransform):
 
     def apply(self, workload: Workload) -> Workload:
         attribute, comparison = FILTER_FIELDS[self.key]
-
-        def keep(job) -> bool:
-            actual = getattr(job, attribute)
-            if actual == MISSING:
-                return False
-            if comparison == "ge":
-                return actual >= self.value
-            if comparison == "le":
-                return actual <= self.value
-            return actual == self.value
-
-        kept = workload.filter(keep, name=f"{workload.name}[{self.key}={self.value}]")
+        actual = workload.columns().np(_FILTER_COLUMNS[attribute])
+        if comparison == "ge":
+            keep = actual >= self.value
+        elif comparison == "le":
+            keep = actual <= self.value
+        else:
+            keep = actual == self.value
+        keep &= actual != MISSING
+        kept = Workload(
+            [job for job, k in zip(workload.jobs, keep.tolist()) if k],
+            header=type(workload.header)(workload.header.entries),
+            name=f"{workload.name}[{self.key}={self.value}]",
+        )
         return kept.renumbered()
 
     def identity(self) -> Dict[str, Any]:
@@ -293,10 +309,16 @@ class Resample(TraceTransform):
         rng = random.Random(self.seed)
         count = len(workload)
         indices = sorted(rng.randrange(count) for _ in range(self.jobs))
-        sampled = [
-            workload[i].replace(preceding_job=MISSING, think_time=MISSING)
-            for i in indices
-        ]
+        sampled = []
+        for i in indices:
+            job = workload[i]
+            if job.preceding_job == MISSING and job.think_time == MISSING:
+                sampled.append(job)
+            else:
+                fields = job.to_fields()
+                fields[_PRECEDING_IDX] = MISSING
+                fields[_THINK_IDX] = MISSING
+                sampled.append(SWFJob._from_trusted_fields(fields))
         resampled = Workload(
             sampled,
             header=type(workload.header)(workload.header.entries),
@@ -346,13 +368,12 @@ class RescaleMachine(TraceTransform):
                 return value
             return max(1, min(self.nodes, int(round(value * factor))))
 
-        jobs = [
-            job.replace(
-                allocated_processors=rescale(job.allocated_processors),
-                requested_processors=rescale(job.requested_processors),
-            )
-            for job in workload
-        ]
+        jobs = []
+        for job in workload:
+            fields = job.to_fields()
+            fields[_ALLOC_IDX] = rescale(job.allocated_processors)
+            fields[_REQ_PROCS_IDX] = rescale(job.requested_processors)
+            jobs.append(SWFJob._from_trusted_fields(fields))
         header = type(workload.header)(workload.header.entries)
         header.set("MaxNodes", self.nodes)
         return Workload(jobs, header, name=f"{workload.name}/{self.nodes}n")
