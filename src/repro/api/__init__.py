@@ -45,6 +45,7 @@ __all__ = [
     "run",
     "run_many",
     "resolve_workload",
+    "resolve_workload_shared",
 ]
 
 _REGISTRY_NAMES = {
@@ -68,7 +69,14 @@ _REGISTRY_NAMES = {
     "metric_names",
 }
 _SCENARIO_NAMES = {"Scenario"}
-_RUNNER_NAMES = {"ScenarioResult", "GridPolicy", "run", "run_many", "resolve_workload"}
+_RUNNER_NAMES = {
+    "ScenarioResult",
+    "GridPolicy",
+    "run",
+    "run_many",
+    "resolve_workload",
+    "resolve_workload_shared",
+}
 
 
 def __getattr__(name: str) -> Any:

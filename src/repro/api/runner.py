@@ -56,7 +56,14 @@ from repro.schedulers.base import Scheduler
 from repro.schedulers.gang import simulate_gang
 from repro.util import looks_like_swf_path as _looks_like_path
 
-__all__ = ["ScenarioResult", "GridPolicy", "run", "run_many", "resolve_workload"]
+__all__ = [
+    "ScenarioResult",
+    "GridPolicy",
+    "run",
+    "run_many",
+    "resolve_workload",
+    "resolve_workload_shared",
+]
 
 #: Offset added to the scenario seed for the grid meta-job stream, so local
 #: workloads and the meta stream never share a seed.
@@ -204,6 +211,41 @@ def _scale_to_load(
     if base <= 0:
         raise ValueError("the workload has no measurable offered load to rescale")
     return workload.scale_load(load / base, name=f"{workload.name}@{load:.2f}")
+
+
+#: Process-wide memo of *unscaled* materialized workloads, keyed by every
+#: input ``_resolve_spec`` reads.  For ``trace:`` specs the spec pins the
+#: content digest, so this is effectively per-digest: a worker process
+#: draining many units over one trace parses the canonical SWF once and
+#: shares the Workload object across runs (safe — ``run()`` only rescales
+#: through ``scale_load``, which copies).
+_SHARED_WORKLOADS: Dict[tuple, Workload] = {}
+
+#: Memo capacity.  Materialized workloads can be large (100k-job traces), so
+#: a long-lived process (the serve daemon, a worker draining a mixed queue)
+#: must not accumulate every workload it ever touched; eviction is FIFO,
+#: which matches how suites walk their contexts in order.
+_SHARED_WORKLOADS_MAX = 16
+
+
+def resolve_workload_shared(scenario: Scenario) -> Workload:
+    """Memoized unscaled materialization, shared across runs in this process.
+
+    Returns the workload resolved with ``load=None``, suitable as a
+    ``run()``/``run_many()`` override: ``run()`` then applies the scenario's
+    load scaling exactly as it would from the spec, so results are
+    bit-identical to an unshared materialization.  The suite runner and the
+    distributed worker both draw from this memo, so replications differing
+    only in policy (or in load) never re-parse their workload.
+    """
+    key = (scenario.workload, scenario.jobs, scenario.machine_size, scenario.seed)
+    workload = _SHARED_WORKLOADS.get(key)
+    if workload is None:
+        workload = resolve_workload(scenario.with_(load=None))
+        while len(_SHARED_WORKLOADS) >= _SHARED_WORKLOADS_MAX:
+            _SHARED_WORKLOADS.pop(next(iter(_SHARED_WORKLOADS)))
+        _SHARED_WORKLOADS[key] = workload
+    return workload
 
 
 def _materialize(

@@ -44,18 +44,30 @@ def _markdown_table(rows: List[Dict[str, object]]) -> str:
 # ----------------------------------------------------------------------
 # suite runs
 # ----------------------------------------------------------------------
-def _served_line(cache_hits: int, cache_misses: int, elapsed_seconds: float) -> str:
+def _served_line(
+    cache_hits: int,
+    cache_misses: int,
+    elapsed_seconds: float,
+    deduplicated: int = 0,
+) -> str:
     """Human explanation of where the results came from.
 
     A fully cache-served run finishes in milliseconds; saying so explicitly
     is what keeps a near-zero ``elapsed_seconds`` from reading like a bug.
+    Deduplicated replications (same key appearing twice inside one run) are
+    named separately — they were never store reads, so they must not inflate
+    the cache-hit count.
     """
+    dedup = f", {deduplicated} deduplicated" if deduplicated else ""
     if cache_misses == 0:
         return (
-            f"served entirely from cache ({cache_hits} hits, 0 simulated) — "
+            f"served entirely from cache ({cache_hits} hits, 0 simulated{dedup}) — "
             f"elapsed {elapsed_seconds:.2f}s covers lookups only, no simulation ran"
         )
-    return f"{cache_hits} cache hits, {cache_misses} simulated in {elapsed_seconds:.2f}s"
+    return (
+        f"{cache_hits} cache hits, {cache_misses} simulated{dedup} "
+        f"in {elapsed_seconds:.2f}s"
+    )
 
 
 def suite_markdown(result: SuiteRunResult) -> str:
@@ -64,7 +76,7 @@ def suite_markdown(result: SuiteRunResult) -> str:
         f"# Benchmark suite `{result.suite}`",
         "",
         f"{len(result.replications)} replications — "
-        f"{_served_line(result.cache_hits, result.cache_misses, result.elapsed_seconds)}; "
+        f"{_served_line(result.cache_hits, result.cache_misses, result.elapsed_seconds, result.deduplicated)}; "
         f"intervals at {result.confidence:.0%} "
         f"confidence (Student-t; percentile bootstrap for [0, 1]-bounded metrics).",
         "",
@@ -94,9 +106,13 @@ def suite_json(result: SuiteRunResult) -> Dict[str, Any]:
         "replications": len(result.replications),
         "cache_hits": result.cache_hits,
         "cache_misses": result.cache_misses,
+        "deduplicated": result.deduplicated,
         "elapsed_seconds": result.elapsed_seconds,
         "served": _served_line(
-            result.cache_hits, result.cache_misses, result.elapsed_seconds
+            result.cache_hits,
+            result.cache_misses,
+            result.elapsed_seconds,
+            result.deduplicated,
         ),
         "timings": dict(result.timings),
         "cases": [

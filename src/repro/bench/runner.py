@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.registry import parse_spec, scheduler_registry
-from repro.api.runner import resolve_workload, run_many
+from repro.api.runner import resolve_workload_shared, run_many
 from repro.api.scenario import Scenario
 from repro.bench.stats import (
     CIEstimate,
@@ -108,9 +108,15 @@ class SuiteRunResult:
     metrics: Tuple[str, ...]
     confidence: float
     replications: List[ReplicationOutcome]
+    #: replications served by the result store (actual store reads only)
     cache_hits: int
     cache_misses: int
     elapsed_seconds: float
+    #: replications whose key duplicates another entry in the *same* run —
+    #: served from this run's own result, whether or not a store exists.
+    #: Kept separate from ``cache_hits`` so a storeless run never claims
+    #: "N from cache" when no cache was consulted.
+    deduplicated: int = 0
     #: wall-clock phase breakdown of this run: cache consultation, workload
     #: materialization, simulation, metrics, and store writes (seconds).
     timings: Dict[str, float] = dataclasses.field(default_factory=dict)
@@ -168,11 +174,20 @@ class SuiteRunResult:
         ]
 
     def summary(self) -> str:
-        served = (
-            f"all {self.cache_hits} from cache, no simulation ran"
-            if self.cache_misses == 0
-            else f"{self.cache_hits} from cache, {self.cache_misses} simulated"
+        dedup = (
+            f", {self.deduplicated} deduplicated" if self.deduplicated else ""
         )
+        if self.cache_misses == 0 and self.cache_hits:
+            served = f"all {self.cache_hits} from cache{dedup}, no simulation ran"
+        elif self.cache_misses == 0:
+            # Everything resolved without store reads *or* simulation: the
+            # whole suite deduplicated onto keys from this run itself.
+            served = f"0 from cache{dedup}, no simulation ran"
+        else:
+            served = (
+                f"{self.cache_hits} from cache, "
+                f"{self.cache_misses} simulated{dedup}"
+            )
         return (
             f"suite {self.suite!r}: {len(self.replications)} replications "
             f"({served}) in {self.elapsed_seconds:.2f}s"
@@ -228,22 +243,20 @@ def _shared_workloads(ordered) -> List[Optional[Any]]:
     """One materialized workload per distinct (spec, jobs, size, seed).
 
     Replications of different policies over the same context share their
-    workload, so resolve it once and hand it to ``run_many`` as an
+    workload, so resolve it once — through the process-wide
+    :func:`~repro.api.runner.resolve_workload_shared` memo, which the
+    distributed worker also draws from — and hand it to ``run_many`` as an
     element-wise override.  The override is *unscaled* (``load=None``) so
     ``run()`` applies the scenario's load scaling exactly as it would from
     the spec.  Grid-mode scenarios get no override: the grid runner re-seeds
     the model per site, which an already-materialized workload would defeat.
     """
-    cache: Dict[tuple, Any] = {}
     overrides: List[Optional[Any]] = []
     for _case, _seed, scenario, _extra, _key in ordered:
         if _policy_mode(scenario.policy) == "grid":
             overrides.append(None)
-            continue
-        wkey = (scenario.workload, scenario.jobs, scenario.machine_size, scenario.seed)
-        if wkey not in cache:
-            cache[wkey] = resolve_workload(scenario.with_(load=None))
-        overrides.append(cache[wkey])
+        else:
+            overrides.append(resolve_workload_shared(scenario))
     return overrides
 
 
@@ -288,6 +301,7 @@ def run_suite(
     done = 0
 
     reports: Dict[str, MetricsReport] = {}
+    store_hits = 0
     if store is not None and use_cache:
         lookup_started = time.perf_counter()
         with trace_span("bench.cache_lookup", keys=total):
@@ -295,6 +309,7 @@ def run_suite(
                 hit = store.get(key)
                 if hit is not None:
                     reports[key] = hit.report
+                    store_hits += 1
                     done += 1
                     if progress is not None:
                         progress(done, total, True)
@@ -376,8 +391,12 @@ def run_suite(
         metrics=suite.metrics,
         confidence=confidence,
         replications=outcomes,
-        cache_hits=len(entries) - len(unique_misses),
+        # Only actual store reads are cache hits; a duplicate key inside the
+        # suite is accounted as deduplicated, so a run with store=None or
+        # use_cache=False can never report phantom hits.
+        cache_hits=store_hits,
         cache_misses=len(unique_misses),
+        deduplicated=len(entries) - total,
         elapsed_seconds=elapsed,
         timings={k: round(v, 6) for k, v in timings.items()},
     )

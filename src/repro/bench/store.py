@@ -254,10 +254,29 @@ class ResultStore:
         return path
 
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).is_file()
+        """Whether ``key`` would be a cache *hit* — decode-consistent with get().
+
+        Membership must never answer "yes" for an entry :meth:`get` would
+        treat as a miss (corrupt file, stale record format): a distributed
+        worker uses ``key in store`` as its claim check, and a
+        file-exists-only answer would let every worker skip a unit whose
+        entry can never actually be loaded, wedging the suite forever.
+        """
+        return self.get(key) is not None
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.entries())
+        """Number of entry files, counted directly off the shard directories.
+
+        Deliberately *not* ``entries()``: that forces a full index rebuild
+        (decoding every record) just to produce a count, which turns an
+        O(1)-ish progress probe into an O(store) scan — pathological once
+        multiple workers poll a shared store.  Corrupt files count here
+        (they occupy a key slot on disk); decode-level truth is what
+        ``__contains__`` and :meth:`entries` are for.
+        """
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
 
     # ------------------------------------------------------------------
     # store-wide reads via the lazy index

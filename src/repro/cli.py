@@ -25,6 +25,10 @@ experiment — are all available from the shell::
     python -m repro.cli bench trend --baseline BENCH_bench_smoke.json --suite smoke
     python -m repro.cli bench gc --max-age-days 30
     python -m repro.cli trace gc --dry-run
+    python -m repro.cli dist enqueue std-space --queue /shared/queue
+    python -m repro.cli dist worker --queue /shared/queue --store /shared/store
+    python -m repro.cli dist status --queue /shared/queue
+    python -m repro.cli dist gather std-space --queue /shared/queue
     python -m repro.cli serve --port 8765 --workers 2 --queue-limit 8
     python -m repro.cli profile "sjf:strict=true" --jobs 2000 --output profile.txt
     python -m repro.cli --log-level debug --log-format json bench run smoke
@@ -311,6 +315,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-store directory (default: $REPRO_BENCH_STORE or ~/.cache/repro-bench)",
     )
 
+    p_dist = sub.add_parser(
+        "dist",
+        help="distributed suite execution: a file-backed work queue sharded "
+        "across processes/hosts sharing one result store",
+    )
+    dist_sub = p_dist.add_subparsers(dest="dist_command", required=True)
+
+    def _dist_common(sub_parser) -> None:
+        sub_parser.add_argument(
+            "--queue", default=None,
+            help="work-queue directory (default: $REPRO_DIST_QUEUE or ~/.cache/repro-dist)",
+        )
+        sub_parser.add_argument(
+            "--store", default=None,
+            help="result-store directory (default: $REPRO_BENCH_STORE or ~/.cache/repro-bench)",
+        )
+
+    d_enqueue = dist_sub.add_parser(
+        "enqueue", help="expand a suite into per-key work units on the queue"
+    )
+    d_enqueue.add_argument("suite", help=f"suite name; registered: {', '.join(suite_names())}")
+    _dist_common(d_enqueue)
+
+    d_worker = dist_sub.add_parser(
+        "worker", help="claim and simulate pending units until the queue drains"
+    )
+    _dist_common(d_worker)
+    d_worker.add_argument(
+        "--ttl", type=float, default=120.0,
+        help="lease time-to-live in seconds; an unrefreshed lease older than "
+        "this is reclaimable (default 120)",
+    )
+    d_worker.add_argument(
+        "--once", action="store_true",
+        help="one pass over the pending units, then exit (no waiting on "
+        "units leased elsewhere)",
+    )
+    d_worker.add_argument(
+        "--max-units", type=int, default=None,
+        help="exit after simulating this many units",
+    )
+    d_worker.add_argument(
+        "--worker-id", default=None,
+        help="stable worker identity for leases/stats (default: host-pid)",
+    )
+    d_worker.add_argument(
+        "--poll-interval", type=float, default=0.5,
+        help="seconds to wait between scans when every pending unit is "
+        "leased elsewhere (default 0.5)",
+    )
+
+    d_status = dist_sub.add_parser(
+        "status", help="per-suite progress of the queue against the store"
+    )
+    _dist_common(d_status)
+    d_status.add_argument("--ttl", type=float, default=120.0, help="lease TTL for expiry classification")
+    d_status.add_argument("--json", dest="json_out", default=None, help="write the machine-readable status here")
+
+    d_gather = dist_sub.add_parser(
+        "gather", help="aggregate a completed suite into a normal suite report"
+    )
+    d_gather.add_argument("suite", help="enqueued suite name")
+    _dist_common(d_gather)
+    d_gather.add_argument("--confidence", type=float, default=0.95)
+    d_gather.add_argument(
+        "--allow-partial", action="store_true",
+        help="skip the completeness gate and simulate any remainder locally",
+    )
+    d_gather.add_argument("--json", dest="json_out", default=None, help="write the machine-readable result here")
+    d_gather.add_argument("--markdown", dest="markdown_out", default=None, help="write the markdown report here")
+
     p_serve = sub.add_parser(
         "serve",
         help="run the evaluation service daemon (coalescing, digest-keyed caching)",
@@ -344,6 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--no-journal", action="store_true",
         help="don't persist or replay the job journal",
+    )
+    p_serve.add_argument(
+        "--dist-queue", default=None,
+        help="delegate suite jobs to this distributed work queue directory "
+        "instead of running them in-process (external workers must drain it)",
     )
 
     p_profile = sub.add_parser(
@@ -729,6 +809,99 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_dist(args) -> int:
+    from repro.bench.store import ResultStore
+    from repro.dist import (
+        QueueIncompleteError,
+        WorkQueue,
+        gather,
+        run_worker,
+    )
+    from repro.obs.log import get_logger
+
+    queue = WorkQueue(args.queue)
+    store = ResultStore(args.store)
+    try:
+        if args.dist_command == "enqueue":
+            result = queue.enqueue_suite(args.suite, store=store)
+            print(result.summary())
+            print(f"queue: {queue.root}; store: {store.root}")
+        elif args.dist_command == "worker":
+            log = get_logger("dist")
+
+            def _progress(stats, unit) -> None:
+                log.info(
+                    "unit done", worker=stats.worker_id, case=unit.case,
+                    simulated=stats.simulated,
+                )
+
+            stats = run_worker(
+                queue,
+                store,
+                ttl=args.ttl,
+                once=args.once,
+                poll_interval=args.poll_interval,
+                max_units=args.max_units,
+                worker_id=args.worker_id,
+                progress=_progress,
+            )
+            print(stats.summary())
+        elif args.dist_command == "status":
+            progress = queue.status(store, ttl=args.ttl)
+            if not progress:
+                print(f"queue {queue.root}: no suites enqueued")
+            for suite_progress in progress:
+                print(suite_progress.summary())
+            workers = queue.worker_stats()
+            for worker_id in sorted(workers):
+                record = workers[worker_id]
+                print(
+                    f"  worker {worker_id}: {record.get('simulated', 0)} "
+                    f"simulated, {record.get('events_processed', 0)} events"
+                )
+            if args.json_out:
+                payload = {
+                    "queue": str(queue.root),
+                    "store": str(store.root),
+                    "suites": [
+                        {
+                            "suite": p.suite,
+                            "total": p.total,
+                            "done": p.done,
+                            "pending": p.pending,
+                            "leased": p.leased,
+                            "expired": p.expired,
+                            "complete": p.complete,
+                        }
+                        for p in progress
+                    ],
+                    "workers": workers,
+                }
+                _write_text(args.json_out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        else:  # gather
+            from repro.bench.report import suite_json, suite_markdown, to_json_text
+
+            try:
+                result = gather(
+                    queue,
+                    args.suite,
+                    store,
+                    confidence=args.confidence,
+                    allow_partial=args.allow_partial,
+                )
+            except QueueIncompleteError as exc:
+                print(str(exc), file=sys.stderr)
+                return 3
+            print(format_table(result.rows()))
+            print(result.summary() + f"; store: {store.root}")
+            _write_text(args.json_out, to_json_text(suite_json(result)))
+            _write_text(args.markdown_out, suite_markdown(result))
+    except (RegistryError, ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.serve.daemon import ServeConfig, serve
 
@@ -744,6 +917,7 @@ def _cmd_serve(args) -> int:
                 use_cache=not args.no_cache,
                 journal=args.journal,
                 use_journal=not args.no_journal,
+                dist_queue=args.dist_queue,
             )
         )
     except (ValueError, OSError) as exc:
@@ -826,6 +1000,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "dist": _cmd_dist,
     "serve": _cmd_serve,
     "profile": _cmd_profile,
 }

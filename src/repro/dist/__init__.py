@@ -1,0 +1,47 @@
+"""Distributed, resumable bench fan-out over a shared result store.
+
+``repro.dist`` shards suite execution across any number of worker processes
+— on one machine or several hosts sharing a filesystem — with nothing but
+directories and atomic file operations for coordination:
+
+* :mod:`repro.dist.queue` — expand a suite into per-key work units and
+  track per-suite progress against the store;
+* :mod:`repro.dist.lease` — ``O_CREAT|O_EXCL`` claim files with TTL +
+  heartbeat liveness and race-free reclaim of dead workers' leases;
+* :mod:`repro.dist.worker` — the claim → simulate → ``store.put`` loop,
+  bit-identical to the serial runner's output;
+* :mod:`repro.dist.gather` — completeness-gated aggregation back into a
+  normal :class:`~repro.bench.runner.SuiteRunResult`.
+
+The store itself is the ground truth for completion, so crash-resume is a
+rescan for missing keys: kill any worker at any point, start another, and
+the suite finishes with zero duplicated simulation.
+"""
+
+from repro.dist.gather import QueueIncompleteError, gather
+from repro.dist.lease import DEFAULT_TTL_SECONDS, Lease, LeaseBroker
+from repro.dist.queue import (
+    QUEUE_ENV_VAR,
+    EnqueueResult,
+    SuiteProgress,
+    WorkQueue,
+    WorkUnit,
+    default_queue_root,
+)
+from repro.dist.worker import WorkerStats, run_worker
+
+__all__ = [
+    "DEFAULT_TTL_SECONDS",
+    "QUEUE_ENV_VAR",
+    "EnqueueResult",
+    "Lease",
+    "LeaseBroker",
+    "QueueIncompleteError",
+    "SuiteProgress",
+    "WorkQueue",
+    "WorkUnit",
+    "WorkerStats",
+    "default_queue_root",
+    "gather",
+    "run_worker",
+]

@@ -1,0 +1,63 @@
+"""Aggregating a distributed suite back into a normal ``SuiteRunResult``.
+
+Gathering is deliberately *not* a new aggregation path: once every unit key
+decodes from the shared store, the ordinary :func:`repro.bench.runner.
+run_suite` over that store is all cache hits and zero simulation, and its
+result — CIs, report tables, JSON — is byte-for-byte the serial result.
+``gather`` only adds the completeness gate in front: aggregating a
+half-finished suite silently would be worse than failing, and ``run_suite``
+on an incomplete store would *locally simulate* the remainder, defeating
+the point of the fleet.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.bench.runner import SuiteRunResult, run_suite
+from repro.bench.store import ResultStore
+from repro.bench.suite import BenchmarkSuite, get_suite
+from repro.dist.queue import WorkQueue
+
+__all__ = ["QueueIncompleteError", "gather"]
+
+
+class QueueIncompleteError(RuntimeError):
+    """Raised when gathering a suite whose units are not all stored yet."""
+
+    def __init__(self, suite: str, missing: List[str], total: int) -> None:
+        self.suite = suite
+        self.missing = missing
+        self.total = total
+        super().__init__(
+            f"suite {suite!r} is incomplete: {len(missing)}/{total} units "
+            f"missing from the store — run more workers, or wait for the "
+            f"fleet to drain"
+        )
+
+
+def gather(
+    queue: WorkQueue,
+    suite: Union[str, BenchmarkSuite],
+    store: ResultStore,
+    confidence: float = 0.95,
+    allow_partial: bool = False,
+) -> SuiteRunResult:
+    """Aggregate a fully stored suite; raises :class:`QueueIncompleteError`.
+
+    ``allow_partial=True`` skips the completeness gate and lets ``run_suite``
+    finish the remainder locally — the explicit "drain it here and now"
+    escape hatch, never the default.
+    """
+    suite = get_suite(suite) if isinstance(suite, str) else suite
+    manifest = queue.manifest(suite.name)
+    if manifest is None:
+        raise FileNotFoundError(
+            f"suite {suite.name!r} has no manifest in {queue.suites_dir} — "
+            f"was it enqueued on this queue?"
+        )
+    if not allow_partial:
+        missing = [key for key in manifest["keys"] if key not in store]
+        if missing:
+            raise QueueIncompleteError(suite.name, missing, len(manifest["keys"]))
+    return run_suite(suite, store=store, use_cache=True, confidence=confidence)

@@ -59,6 +59,10 @@ class ServeConfig:
     journal: Optional[str] = None
     #: disable the journal entirely (no persistence, no replay)
     use_journal: bool = True
+    #: distributed work-queue directory; when set, suite jobs are enqueued
+    #: there for external ``repro dist worker`` processes instead of running
+    #: in-process (None = run suites locally as usual)
+    dist_queue: Optional[str] = None
 
 
 class ReproServer:
@@ -73,6 +77,11 @@ class ReproServer:
             # wipes the journal's claims about what that store contains.
             path = config.journal or str(store.root / "journal.jsonl")
             journal = JobJournal(path)
+        dist_queue = None
+        if config.dist_queue:
+            from repro.dist import WorkQueue
+
+            dist_queue = WorkQueue(config.dist_queue)
         self.service = EvaluationService(
             store=store,
             workers=config.workers,
@@ -80,6 +89,7 @@ class ReproServer:
             run_workers=config.run_workers,
             use_cache=config.use_cache,
             journal=journal,
+            dist_queue=dist_queue,
         )
         if journal is not None and self.service.replay_stats["events"]:
             log.info("journal-replayed", path=str(journal.path), **self.service.replay_stats)

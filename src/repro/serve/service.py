@@ -257,6 +257,8 @@ class EvaluationService:
         retry_after_seconds: int = 5,
         journal: Optional[JobJournal] = None,
         max_trace_spans: int = 4096,
+        dist_queue: Optional[Any] = None,
+        dist_poll_interval: float = 0.25,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -267,6 +269,12 @@ class EvaluationService:
         self.queue_limit = queue_limit
         self.run_workers = run_workers
         self.use_cache = use_cache
+        #: when set (a :class:`repro.dist.WorkQueue`), suite jobs are
+        #: *delegated*: enqueued onto the distributed work queue and watched
+        #: until external workers drain them into the shared store, instead
+        #: of simulating in-process.  Scenario jobs always run locally.
+        self.dist_queue = dist_queue
+        self.dist_poll_interval = dist_poll_interval
         self.retry_after_seconds = retry_after_seconds
         self.draining = False
         self.started_at = time.time()
@@ -573,16 +581,19 @@ class EvaluationService:
             )
 
         if evaluation.kind == "suite":
-            result = run_suite(
-                evaluation.suite,
-                workers=self.run_workers,
-                store=self.store,
-                use_cache=self.use_cache,
-                progress=progress,
-            )
             from repro.bench.report import suite_json
 
-            payload = suite_json(result)
+            if self.dist_queue is not None and record_progress:
+                payload = self._execute_delegated_suite(evaluation, progress)
+            else:
+                result = run_suite(
+                    evaluation.suite,
+                    workers=self.run_workers,
+                    store=self.store,
+                    use_cache=self.use_cache,
+                    progress=progress,
+                )
+                payload = suite_json(result)
         else:
             payload = self._execute_scenario(evaluation, progress)
         payload.update(
@@ -593,6 +604,50 @@ class EvaluationService:
                 "code": code_version(),
             }
         )
+        return payload
+
+    def _execute_delegated_suite(self, evaluation: Evaluation, progress) -> Dict[str, Any]:
+        """Delegate a suite job to the distributed work queue and watch it.
+
+        The suite is enqueued (idempotently — units already stored or already
+        queued are recognized, never duplicated), then the executor thread
+        polls the shared store until every unit key decodes; external
+        ``repro dist worker`` processes do the simulating.  Progress events
+        fire as keys appear — ``cached=True`` for units the store already
+        held at enqueue time, ``cached=False`` for units the fleet produced
+        during this job.  Aggregation at the end is an ordinary warm
+        ``run_suite`` (all cache hits), so the payload is bit-identical to an
+        in-process run's.
+        """
+        from repro.bench.report import suite_json
+
+        enqueued = self.dist_queue.enqueue_suite(evaluation.suite, store=self.store)
+        manifest = self.dist_queue.manifest(evaluation.suite.name)
+        keys = manifest["keys"] if manifest else sorted(
+            {entry[4] for entry in _expand(evaluation.suite)}
+        )
+        total = len(keys)
+        done: Dict[str, bool] = {}  # key -> was it a pre-existing store entry
+        first_pass = True
+        while True:
+            for key in keys:
+                if key not in done and key in self.store:
+                    done[key] = first_pass
+                    progress(len(done), total, first_pass)
+            if len(done) >= total:
+                break
+            first_pass = False
+            time.sleep(self.dist_poll_interval)
+        result = run_suite(
+            evaluation.suite, store=self.store, use_cache=True
+        )
+        payload = suite_json(result)
+        payload["delegated"] = {
+            "queue": str(self.dist_queue.root),
+            "units": enqueued.units,
+            "enqueued": enqueued.enqueued,
+            "already_stored": enqueued.already_stored,
+        }
         return payload
 
     def _execute_scenario(self, evaluation: Evaluation, progress) -> Dict[str, Any]:

@@ -14,12 +14,13 @@ The root defaults to ``$REPRO_TRACE_CACHE`` or ``~/.cache/repro-traces``.
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import time
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.core.swf.parser import parse_swf
+from repro.core.swf.parser import parse_swf_text
 from repro.core.swf.workload import Workload
 from repro.core.swf.writer import canonical_swf_bytes
 from repro.util import atomic_write
@@ -36,6 +37,19 @@ def default_cache_root() -> Path:
     if override:
         return Path(override)
     return Path.home() / ".cache" / "repro-traces"
+
+
+def _mapped_text(path: Path) -> str:
+    """The file's bytes decoded via a read-only memory map.
+
+    ``mmap`` cannot map an empty file, so zero bytes decode directly (the
+    parser then rejects the contents the same way either path would).
+    """
+    with open(path, "rb") as handle:
+        if os.fstat(handle.fileno()).st_size == 0:
+            return ""
+        with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as view:
+            return view[:].decode("utf-8")
 
 
 class TraceCache:
@@ -63,10 +77,15 @@ class TraceCache:
         A cache file that fails to parse is treated as a miss (the caller
         rebuilds and overwrites it), never as an error: a torn or truncated
         entry must not be able to wedge every later run.
+
+        The file is read through ``mmap``: canonical SWF bytes enter the OS
+        page cache once per digest and are shared by every process on the
+        host that maps them — a fleet of distributed workers replaying the
+        same trace pays for one resident copy, not one per worker.
         """
         path = self.path_for(digest)
         try:
-            workload = parse_swf(path)
+            workload = parse_swf_text(_mapped_text(path), name=path.stem)
         except (OSError, ValueError):
             return None
         workload.name = name if name is not None else self._cached_name(digest)

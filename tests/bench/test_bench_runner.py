@@ -171,7 +171,8 @@ class TestRunSuite:
             metrics=("mean_wait",),
         )
         result = run_suite(suite)
-        assert (result.cache_hits, result.cache_misses) == (3, 3)
+        assert (result.cache_hits, result.cache_misses) == (0, 3)
+        assert result.deduplicated == 3
         by_case = result.by_case()
         assert all(not o.cached for o in by_case["a/fcfs"])
         assert all(o.cached for o in by_case["b/fcfs"])

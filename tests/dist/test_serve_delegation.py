@@ -1,0 +1,87 @@
+"""The daemon delegating suite jobs to the distributed work queue."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.bench.store import ResultStore
+from repro.dist import WorkQueue, run_worker
+from repro.serve.daemon import ReproServer, ServeConfig
+from repro.serve.service import EvaluationService, resolve_submission
+
+
+class TestDelegatedSuite:
+    def test_suite_job_is_drained_by_external_workers(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        queue = WorkQueue(tmp_path / "queue")
+        service = EvaluationService(
+            store=store, dist_queue=queue, dist_poll_interval=0.05
+        )
+        evaluation = resolve_submission({"suite": "smoke"})
+
+        stop = threading.Event()
+
+        def drain() -> None:
+            # A stand-in for `repro dist worker` on another host: keep
+            # sweeping until the delegating thread has what it needs.
+            while not stop.is_set():
+                run_worker(queue, store, once=True, worker_id="bg")
+                time.sleep(0.02)
+
+        worker = threading.Thread(target=drain, daemon=True)
+        worker.start()
+        progress_calls = []
+        try:
+            payload = service._execute_delegated_suite(
+                evaluation, lambda done, total, cached: progress_calls.append(
+                    (done, total, cached)
+                ),
+            )
+        finally:
+            stop.set()
+            worker.join(30)
+
+        assert payload["suite"] == "smoke"
+        assert payload["delegated"]["units"] == evaluation.total
+        assert payload["delegated"]["queue"] == str(queue.root)
+        assert queue.pending_keys(store) == []
+        # Progress reached completion, and a cold store means nothing was
+        # reported as a pre-existing cache hit.
+        assert progress_calls[-1][:2] == (evaluation.total, evaluation.total)
+        assert not any(cached for _done, _total, cached in progress_calls)
+
+    def test_warm_store_reports_cached_progress(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        queue = WorkQueue(tmp_path / "queue")
+        service = EvaluationService(
+            store=store, dist_queue=queue, dist_poll_interval=0.05
+        )
+        evaluation = resolve_submission({"suite": "smoke"})
+        # First delegation with an inline drain (allowed: enqueue then run a
+        # worker to completion before polling even starts).
+        queue.enqueue_suite(evaluation.suite, store=store)
+        run_worker(queue, store, worker_id="warmup")
+
+        progress_calls = []
+        payload = service._execute_delegated_suite(
+            evaluation, lambda done, total, cached: progress_calls.append(cached)
+        )
+        assert payload["delegated"]["already_stored"] == evaluation.total
+        assert all(progress_calls)  # every unit was a pre-existing entry
+
+    def test_server_wires_the_queue_from_config(self, tmp_path):
+        config = ServeConfig(
+            store=str(tmp_path / "store"),
+            dist_queue=str(tmp_path / "queue"),
+            use_journal=False,
+        )
+        server = ReproServer(config)
+        assert isinstance(server.service.dist_queue, WorkQueue)
+        assert server.service.dist_queue.root == tmp_path / "queue"
+
+    def test_no_queue_means_local_execution(self, tmp_path):
+        server = ReproServer(
+            ServeConfig(store=str(tmp_path / "store"), use_journal=False)
+        )
+        assert server.service.dist_queue is None
